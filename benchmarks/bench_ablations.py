@@ -1,0 +1,54 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+Four ablations, each isolating one mechanism of the local framework:
+
+* notification mechanism on vs off (AND),
+* asynchronous (AND) vs synchronous (SND) updates,
+* processing order of AND (natural / random / degree / peel),
+* dynamic vs static scheduling and the chunk size of the simulated scheduler.
+"""
+
+import pytest
+
+from repro.core.asynd import and_decomposition
+from repro.core.snd import snd_decomposition
+from repro.parallel.scheduler import SimulatedScheduler
+
+
+def test_ablation_notification_off(benchmark, truss_space):
+    result = benchmark(and_decomposition, truss_space, notification=False)
+    assert result.operations["skipped_cliques"] == 0
+
+
+def test_ablation_notification_on(benchmark, truss_space):
+    result = benchmark(and_decomposition, truss_space, notification=True)
+    assert result.operations["skipped_cliques"] > 0
+
+
+def test_ablation_synchronous_updates(benchmark, truss_space):
+    result = benchmark(snd_decomposition, truss_space)
+    assert result.converged
+
+
+@pytest.mark.parametrize("order", ["natural", "random", "degree", "peel"])
+def test_ablation_processing_order(benchmark, truss_space, order):
+    result = benchmark.pedantic(
+        and_decomposition,
+        args=(truss_space,),
+        kwargs={"order": order, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.converged
+    if order == "peel":
+        assert result.iterations <= 2
+
+
+@pytest.mark.parametrize("policy,chunk", [("static", 1), ("dynamic", 1), ("dynamic", 64)])
+def test_ablation_scheduling_policy(benchmark, truss_space, policy, chunk):
+    costs = [max(truss_space.s_degree(i), 1) for i in range(len(truss_space))]
+    scheduler = SimulatedScheduler(24, policy=policy, chunk_size=chunk)
+    report = benchmark.pedantic(scheduler.schedule, args=(costs,), rounds=1, iterations=1)
+    assert report.total_work == sum(costs)
+    if policy == "dynamic" and chunk == 1:
+        assert report.speedup > 20

@@ -1,0 +1,39 @@
+"""E8 — query-driven estimation: accuracy and cost vs neighbourhood radius.
+
+Regenerates the query-driven scenario: estimate core and truss numbers for a
+random sample of vertices/edges from bounded neighbourhoods only.
+"""
+
+from repro.experiments.query_driven import (
+    format_query_driven,
+    run_query_driven,
+    run_query_driven_suite,
+)
+
+
+def test_fig10_core_and_truss_queries(benchmark):
+    rows = benchmark.pedantic(
+        run_query_driven_suite,
+        args=("fb",),
+        kwargs={"num_queries": 12, "hop_radii": (1, 2, 3)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_query_driven(rows))
+    # larger neighbourhoods never reduce accuracy on average
+    for r, s in ((1, 2), (2, 3)):
+        series = [row for row in rows if row["r"] == r and row["s"] == s]
+        assert series[-1]["mean_abs_error"] <= series[0]["mean_abs_error"]
+
+
+def test_fig10_cost_grows_with_radius(benchmark):
+    rows = benchmark.pedantic(
+        run_query_driven,
+        args=("sse", 1, 2),
+        kwargs={"num_queries": 15, "hop_radii": (0, 1, 2, 3)},
+        rounds=1,
+        iterations=1,
+    )
+    fractions = [row["mean_ball_fraction"] for row in rows]
+    assert fractions == sorted(fractions)

@@ -1,0 +1,53 @@
+"""E6 — Figure 7: full-convergence runtime and work, peeling vs SND vs AND.
+
+Also times the three algorithms directly with pytest-benchmark on prebuilt
+spaces, which is the most honest wall-clock comparison this pure-Python
+environment can provide.
+"""
+
+from repro.core.asynd import and_decomposition
+from repro.core.peeling import peeling_decomposition
+from repro.core.snd import snd_decomposition
+from repro.experiments.runtime import format_runtime_comparison, run_runtime_comparison
+
+
+def test_fig7_runtime_table(benchmark):
+    rows = benchmark.pedantic(
+        run_runtime_comparison,
+        args=(("fb", "tw", "sse"),),
+        kwargs={"instances": ((1, 2), (2, 3))},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_runtime_comparison(rows))
+    for row in rows:
+        # AND never does more work than SND (fresher values + notification)
+        assert row["and_over_snd_work"] <= 1.0
+
+
+def test_fig7_peeling_truss(benchmark, truss_space):
+    result = benchmark(peeling_decomposition, truss_space)
+    assert result.converged
+
+
+def test_fig7_snd_truss(benchmark, truss_space):
+    result = benchmark(snd_decomposition, truss_space)
+    assert result.converged
+
+
+def test_fig7_and_truss(benchmark, truss_space):
+    result = benchmark(and_decomposition, truss_space)
+    assert result.converged
+
+
+def test_fig7_peeling_core(benchmark, core_space):
+    assert benchmark(peeling_decomposition, core_space).converged
+
+
+def test_fig7_and_core(benchmark, core_space):
+    assert benchmark(and_decomposition, core_space).converged
+
+
+def test_fig7_and_three_four(benchmark, three_four_space):
+    assert benchmark(and_decomposition, three_four_space).converged

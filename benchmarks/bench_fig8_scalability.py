@@ -1,0 +1,41 @@
+"""E5 — Figure 1b / Figure 8: speedup vs number of threads.
+
+Regenerates the simulated speedup series for the local algorithms (static and
+dynamic scheduling) and the partially parallel peeling baseline at 1/4/6/12/24
+threads.  The reproduced shape: local algorithms keep scaling and beat
+peeling, and dynamic scheduling dominates static when the per-clique work is
+skewed.
+"""
+
+from repro.experiments.scalability import format_scalability, run_scalability
+
+DATASETS = ("fb", "tw", "sse")
+THREADS = (1, 4, 6, 12, 24)
+
+
+def test_fig8_truss_scalability(benchmark):
+    rows = benchmark.pedantic(
+        run_scalability,
+        args=(DATASETS, 2, 3),
+        kwargs={"thread_counts": THREADS},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_scalability(rows))
+    for row in rows:
+        if row["threads"] >= 4:
+            assert row["local_vs_peeling"] >= 1.0
+            assert row["local_dynamic_speedup"] >= row["local_static_speedup"] - 1e-9
+
+
+def test_fig8_core_scalability(benchmark):
+    rows = benchmark.pedantic(
+        run_scalability,
+        args=(("fb",), 1, 2),
+        kwargs={"thread_counts": THREADS},
+        rounds=1,
+        iterations=1,
+    )
+    by_threads = {row["threads"]: row for row in rows}
+    assert by_threads[24]["local_dynamic_speedup"] >= by_threads[4]["local_dynamic_speedup"]

@@ -1,0 +1,30 @@
+"""E7 — Figure 9: accuracy vs work under early termination.
+
+Regenerates the trade-off series (Kendall-Tau and exact fraction vs fraction
+of full-convergence work) for the k-truss and (3,4) decompositions.
+"""
+
+from repro.experiments.tradeoff import format_tradeoff, run_tradeoff
+
+
+def test_fig9_truss_tradeoff(benchmark):
+    rows = benchmark.pedantic(
+        run_tradeoff, args=("fb", 2, 3), kwargs={"algorithm": "snd"}, rounds=1, iterations=1
+    )
+    print()
+    print(format_tradeoff(rows))
+    assert rows[-1]["kendall_tau"] == 1.0
+    # a handful of iterations already gets within a few percent of exact
+    early = [r for r in rows if r["iterations"] <= 3]
+    assert any(r["kendall_tau"] > 0.9 for r in early)
+
+
+def test_fig9_three_four_tradeoff(benchmark):
+    rows = benchmark.pedantic(
+        run_tradeoff, args=("tw", 3, 4), kwargs={"algorithm": "snd"}, rounds=1, iterations=1
+    )
+    print()
+    print(format_tradeoff(rows))
+    works = [r["work_fraction"] for r in rows]
+    assert works == sorted(works)
+    assert rows[-1]["exact_fraction"] == 1.0

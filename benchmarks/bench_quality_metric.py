@@ -1,0 +1,13 @@
+"""E9 — the online quality metric: τ stability as a proxy for accuracy."""
+
+from repro.experiments.quality_metric import format_quality_metric, run_quality_metric
+
+
+def test_quality_metric_tracks_accuracy(benchmark):
+    payload = benchmark.pedantic(
+        run_quality_metric, args=("fb", 2, 3), rounds=1, iterations=1
+    )
+    print()
+    print(format_quality_metric(payload))
+    assert payload["correlation"] > 0.5
+    assert payload["rows"][-1]["stability"] == 1.0

@@ -1,0 +1,25 @@
+"""E1 — Table 3: dataset statistics (|V|, |E|, |Δ|, |K4|).
+
+Regenerates the dataset-statistics table for the ten synthetic stand-ins and
+times how long the counting (triangle + 4-clique enumeration) takes.
+"""
+
+from repro.experiments.datasets_table import format_datasets_table, run_datasets_table
+
+
+def test_table3_dataset_statistics(benchmark):
+    rows = benchmark.pedantic(run_datasets_table, rounds=1, iterations=1)
+    print()
+    print(format_datasets_table(rows))
+    assert len(rows) == 10
+    assert all(row["|tri|"] > 0 for row in rows)
+
+
+def test_table3_triangle_counts_only(benchmark):
+    rows = benchmark.pedantic(
+        run_datasets_table,
+        kwargs={"include_four_cliques": False},
+        rounds=1,
+        iterations=1,
+    )
+    assert all("|K4|" not in row for row in rows)

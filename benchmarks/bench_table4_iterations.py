@@ -1,0 +1,25 @@
+"""E3 — Table 4: iterations to converge vs the degree-level upper bound.
+
+Regenerates the iteration-count table: SND, AND (natural / random / peel
+orders) and the Section 3.1 bound for the benchmark datasets.
+"""
+
+from repro.experiments.iterations import format_iteration_counts, run_iteration_counts
+
+DATASETS = ("fb", "tw", "sse")
+
+
+def test_table4_iteration_counts(benchmark):
+    rows = benchmark.pedantic(
+        run_iteration_counts,
+        args=(DATASETS,),
+        kwargs={"instances": ((1, 2), (2, 3))},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_iteration_counts(rows))
+    for row in rows:
+        assert row["snd_iters"] <= row["level_bound"] + 1
+        assert row["and_iters"] <= row["snd_iters"]
+        assert row["and_best_iters"] <= 2

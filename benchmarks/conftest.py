@@ -1,0 +1,53 @@
+"""Benchmark-suite configuration.
+
+Ensures ``src/`` is importable without installation and provides shared
+fixtures (prebuilt clique spaces for the benchmark datasets) so individual
+benchmarks measure the algorithm under test rather than repeated setup.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_*`` module regenerates one table or figure of the paper (the
+mapping is in DESIGN.md §4 and EXPERIMENTS.md); the printed rows are the
+reproduction, the pytest-benchmark timings quantify the cost of producing
+them.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.core.space import NucleusSpace          # noqa: E402
+from repro.datasets.registry import load_dataset   # noqa: E402
+
+# Datasets small enough for every decomposition instance in a benchmark run.
+BENCH_DATASETS = ("fb", "tw", "sse")
+# Dataset used when a benchmark only needs a single representative graph.
+PRIMARY_DATASET = "fb"
+
+
+@pytest.fixture(scope="session")
+def primary_graph():
+    return load_dataset(PRIMARY_DATASET)
+
+
+@pytest.fixture(scope="session")
+def core_space(primary_graph):
+    return NucleusSpace(primary_graph, 1, 2)
+
+
+@pytest.fixture(scope="session")
+def truss_space(primary_graph):
+    return NucleusSpace(primary_graph, 2, 3)
+
+
+@pytest.fixture(scope="session")
+def three_four_space():
+    # (3, 4) is the most expensive instance; use the smaller 'tw' stand-in
+    return NucleusSpace(load_dataset("tw"), 3, 4)

@@ -1,0 +1,51 @@
+"""Trading accuracy for runtime by stopping the local algorithm early.
+
+Unlike peeling — whose intermediate state reveals nothing about the densest
+regions — every iteration of the local algorithms is a global approximation
+of the decomposition.  This example runs the k-truss decomposition on one of
+the registry datasets with increasing iteration caps and prints how accuracy
+(Kendall-Tau, exact-match fraction) grows with the fraction of the full work,
+plus the stability metric a user could monitor online to decide when to stop.
+
+Run with::
+
+    python examples/accuracy_tradeoff.py
+"""
+
+from repro import peeling_decomposition, snd_decomposition
+from repro.core.metrics import accuracy_report
+from repro.core.space import NucleusSpace
+from repro.datasets.registry import load_dataset
+
+
+def main() -> None:
+    graph = load_dataset("fb")
+    space = NucleusSpace(graph, 2, 3)
+    print(f"facebook stand-in: {graph.number_of_vertices()} vertices, "
+          f"{graph.number_of_edges()} edges, {len(space)} edges to decompose")
+
+    exact = peeling_decomposition(space).kappa
+    full = snd_decomposition(space)
+    full_work = full.operations["rho_evaluations"]
+    print(f"full SND convergence: {full.iterations} iterations, "
+          f"{full_work} rho evaluations\n")
+
+    print(f"{'iters':>5}  {'work%':>6}  {'kendall':>8}  {'exact%':>7}  {'stability':>9}")
+    for cap in (1, 2, 3, 5, 8, full.iterations):
+        partial = snd_decomposition(space, max_iterations=cap)
+        report = accuracy_report(partial.kappa, exact)
+        work = partial.operations["rho_evaluations"] / full_work
+        stability = 1.0 - partial.iteration_stats[-1].updated / len(space)
+        print(
+            f"{cap:>5}  {work:>6.1%}  {report['kendall_tau']:>8.4f}  "
+            f"{report['exact_fraction']:>7.1%}  {stability:>9.1%}"
+        )
+
+    print("\nReading the table: a small number of iterations already yields a "
+          "near-exact ranking of the dense regions, and the observable "
+          "stability column tracks the (hidden) accuracy — the basis for "
+          "informed early stopping.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Comparing dense-subgraph finders: greedy peeling vs k-core vs (3,4) nucleus.
+
+The paper argues that nucleus decompositions (especially (3,4)) surface
+denser subgraphs than vertex- or edge-centric methods.  This example plants a
+dense community in a sparse background and compares three extractors:
+
+* Charikar's greedy peeling (densest subgraph, average-degree objective),
+* the maximum k-core,
+* the best (3,4) nucleus from the hierarchy.
+
+Run with::
+
+    python examples/densest_subgraph.py
+"""
+
+from repro.core.densest import (
+    average_degree_density,
+    best_nucleus,
+    charikar_densest_subgraph,
+    max_core_subgraph,
+)
+from repro.graph.generators import planted_clique_graph
+
+
+def report(name: str, graph, vertices) -> None:
+    sub = graph.subgraph(vertices)
+    print(
+        f"  {name:<18} |V|={sub.number_of_vertices():>3}  "
+        f"|E|={sub.number_of_edges():>4}  "
+        f"edge density={sub.density():.3f}  "
+        f"avg-degree density={average_degree_density(graph, set(vertices)):.2f}"
+    )
+
+
+def main() -> None:
+    graph = planted_clique_graph(n=200, clique_size=18, p=0.04, seed=17)
+    print(
+        f"background G(200, 0.04) with a planted 18-clique: "
+        f"{graph.number_of_edges()} edges overall\n"
+    )
+
+    greedy_set, _ = charikar_densest_subgraph(graph)
+    core_set, _ = max_core_subgraph(graph)
+    nucleus, _ = best_nucleus(graph, 3, 4, min_size=4)
+
+    print("extractor comparison:")
+    report("greedy peeling", graph, greedy_set)
+    report("max k-core", graph, core_set)
+    report("best (3,4) nucleus", graph, nucleus.vertices)
+
+    planted = set(range(18))
+    print("\noverlap with the planted clique:")
+    for name, found in (
+        ("greedy peeling", set(greedy_set)),
+        ("max k-core", set(core_set)),
+        ("best (3,4) nucleus", set(nucleus.vertices)),
+    ):
+        precision = len(found & planted) / len(found)
+        recall = len(found & planted) / len(planted)
+        print(f"  {name:<18} precision={precision:.2f}  recall={recall:.2f}")
+
+
+if __name__ == "__main__":
+    main()

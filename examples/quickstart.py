@@ -1,0 +1,56 @@
+"""Quickstart: compute core, truss and (3,4) nucleus decompositions.
+
+Builds a small clustered graph, runs all three decomposition instances with
+both the peeling baseline and the local AND algorithm, and prints the κ
+distributions plus the densest region each decomposition finds.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    core_decomposition,
+    nucleus_decomposition,
+    peeling_decomposition,
+    truss_decomposition,
+)
+from repro.graph.generators import powerlaw_cluster_graph
+
+
+def main() -> None:
+    # A 300-vertex graph with a heavy-tailed degree distribution and plenty of
+    # triangles — the kind of structure the paper's datasets exhibit.
+    graph = powerlaw_cluster_graph(n=300, m=6, p=0.5, seed=2024)
+    print(f"graph: {graph.number_of_vertices()} vertices, "
+          f"{graph.number_of_edges()} edges")
+
+    # ---------------------------------------------------------------- k-core
+    cores = core_decomposition(graph, algorithm="and")
+    print("\n== k-core ((1,2) nucleus) ==")
+    print(cores.summary())
+    print("kappa histogram:", cores.kappa_histogram())
+    densest = cores.vertices_with_kappa_at_least(cores.max_kappa())
+    print(f"densest core: {len(densest)} vertices at k={cores.max_kappa()}")
+
+    # --------------------------------------------------------------- k-truss
+    trusses = truss_decomposition(graph, algorithm="and")
+    print("\n== k-truss ((2,3) nucleus) ==")
+    print(trusses.summary())
+    top_edges = [e for e, k in trusses.as_dict().items() if k == trusses.max_kappa()]
+    print(f"max truss number {trusses.max_kappa()} reached by {len(top_edges)} edges")
+
+    # ------------------------------------------------------- (3,4) nucleus
+    nuclei = nucleus_decomposition(graph, 3, 4, algorithm="and")
+    print("\n== (3,4) nucleus ==")
+    print(nuclei.summary())
+    print(f"{len(nuclei)} triangles, max kappa {nuclei.max_kappa()}")
+
+    # ------------------------------------------- exactness vs the baseline
+    exact = peeling_decomposition(graph, 2, 3)
+    assert exact.kappa == trusses.kappa
+    print("\nlocal AND result matches the exact peeling decomposition: OK")
+
+
+if __name__ == "__main__":
+    main()

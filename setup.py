@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` keeps working on environments whose setuptools/pip are
+too old for PEP 660 editable installs (e.g. offline boxes without the
+``wheel`` package).
+"""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

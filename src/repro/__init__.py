@@ -1,0 +1,55 @@
+"""repro — local algorithms for hierarchical dense subgraph discovery.
+
+A from-scratch Python reproduction of Sarıyüce, Seshadhri & Pinar,
+*Local Algorithms for Hierarchical Dense Subgraph Discovery* (PVLDB 2018):
+k-core, k-truss and (r, s) nucleus decompositions computed either by the
+classic global peeling process or by the paper's local, iterative h-index
+algorithms (SND / AND), together with convergence bounds, hierarchy
+extraction, query-driven estimation, and the full experiment harness.
+
+Quickstart
+----------
+>>> from repro import graph, core
+>>> g = graph.powerlaw_cluster_graph(200, 4, 0.3, seed=1)
+>>> result = core.truss_decomposition(g, algorithm="and")
+>>> result.max_kappa() >= 1
+True
+"""
+
+from repro import core, datasets, graph, parallel
+from repro.core import (
+    DecompositionResult,
+    NucleusSpace,
+    and_decomposition,
+    build_hierarchy,
+    core_decomposition,
+    estimate_local_indices,
+    nucleus_decomposition,
+    peeling_decomposition,
+    snd_decomposition,
+    three_four_decomposition,
+    truss_decomposition,
+)
+from repro.graph import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "NucleusSpace",
+    "DecompositionResult",
+    "nucleus_decomposition",
+    "core_decomposition",
+    "truss_decomposition",
+    "three_four_decomposition",
+    "peeling_decomposition",
+    "snd_decomposition",
+    "and_decomposition",
+    "build_hierarchy",
+    "estimate_local_indices",
+    "core",
+    "graph",
+    "datasets",
+    "parallel",
+    "__version__",
+]

@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro <command>`` or the ``repro`` script.
+
+Commands map one-to-one onto the experiment modules so every table and figure
+of the paper can be regenerated from the shell:
+
+* ``repro datasets``      — Table 3 (dataset statistics)
+* ``repro convergence``   — Figure 1a / 6 (Kendall-Tau vs iterations)
+* ``repro iterations``    — Table 4 (iterations vs the degree-level bound)
+* ``repro plateaus``      — Figure 5 (τ plateaus, notification savings)
+* ``repro scalability``   — Figure 1b / 8 (speedup vs threads)
+* ``repro runtime``       — Figure 7 (peeling vs SND vs AND)
+* ``repro tradeoff``      — Figure 9 (accuracy vs work)
+* ``repro query``         — query-driven estimation accuracy
+* ``repro quality``       — the online quality metric
+* ``repro decompose``     — run one decomposition on a dataset and print a summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.decomposition import nucleus_decomposition
+from repro.core.hierarchy import build_hierarchy
+from repro.core.space import NucleusSpace
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.experiments import tables
+from repro.experiments.convergence import format_convergence, run_convergence_suite
+from repro.experiments.datasets_table import format_datasets_table, run_datasets_table
+from repro.experiments.iterations import format_iteration_counts, run_iteration_counts
+from repro.experiments.plateaus import (
+    format_notification_savings,
+    format_tau_traces,
+    run_notification_savings,
+    run_tau_traces,
+)
+from repro.experiments.quality_metric import format_quality_metric, run_quality_metric
+from repro.experiments.query_driven import format_query_driven, run_query_driven_suite
+from repro.experiments.runtime import format_runtime_comparison, run_runtime_comparison
+from repro.experiments.scalability import format_scalability, run_scalability
+from repro.experiments.tradeoff import format_tradeoff, run_tradeoff
+
+__all__ = ["main", "build_parser"]
+
+SMALL_DATASETS = ("fb", "tw", "sse")
+MEDIUM_DATASETS = ("fb", "tw", "sse", "wgo", "wnd")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the experiments of 'Local Algorithms for "
+        "Hierarchical Dense Subgraph Discovery'.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="Table 3: dataset statistics")
+
+    conv = sub.add_parser("convergence", help="Figure 1a/6: convergence rates")
+    conv.add_argument("--datasets", nargs="+", default=list(SMALL_DATASETS))
+    conv.add_argument("--algorithm", choices=["snd", "and"], default="snd")
+    conv.add_argument("--max-iterations", type=int, default=16)
+
+    iters = sub.add_parser("iterations", help="Table 4: iteration counts and bounds")
+    iters.add_argument("--datasets", nargs="+", default=list(SMALL_DATASETS))
+
+    plat = sub.add_parser("plateaus", help="Figure 5: plateaus and notification savings")
+    plat.add_argument("--dataset", default="fb")
+
+    scal = sub.add_parser("scalability", help="Figure 1b/8: speedup vs threads")
+    scal.add_argument("--datasets", nargs="+", default=list(MEDIUM_DATASETS))
+    scal.add_argument("--threads", nargs="+", type=int, default=[1, 4, 6, 12, 24])
+
+    runt = sub.add_parser("runtime", help="Figure 7: peeling vs SND vs AND")
+    runt.add_argument("--datasets", nargs="+", default=list(SMALL_DATASETS))
+
+    trade = sub.add_parser("tradeoff", help="Figure 9: accuracy vs work")
+    trade.add_argument("--dataset", default="fb")
+    trade.add_argument("--algorithm", choices=["snd", "and"], default="snd")
+
+    query = sub.add_parser("query", help="Query-driven estimation accuracy")
+    query.add_argument("--dataset", default="fb")
+
+    qual = sub.add_parser("quality", help="Online quality metric")
+    qual.add_argument("--dataset", default="fb")
+
+    dec = sub.add_parser("decompose", help="Run one decomposition and print a summary")
+    dec.add_argument("--dataset", default="fb", choices=dataset_names())
+    dec.add_argument("--r", type=int, default=1)
+    dec.add_argument("--s", type=int, default=2)
+    dec.add_argument(
+        "--algorithm", choices=["peeling", "snd", "and"], default="and"
+    )
+    dec.add_argument("--hierarchy", action="store_true", help="print the nucleus hierarchy")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "datasets":
+        print(format_datasets_table(run_datasets_table()))
+    elif args.command == "convergence":
+        rows = run_convergence_suite(
+            args.datasets,
+            algorithm=args.algorithm,
+            max_iterations=args.max_iterations,
+        )
+        print(format_convergence(rows))
+    elif args.command == "iterations":
+        print(format_iteration_counts(run_iteration_counts(args.datasets)))
+    elif args.command == "plateaus":
+        print(format_tau_traces(run_tau_traces(args.dataset)))
+        print()
+        print(format_notification_savings(run_notification_savings(args.dataset)))
+    elif args.command == "scalability":
+        print(format_scalability(run_scalability(args.datasets, thread_counts=args.threads)))
+    elif args.command == "runtime":
+        print(format_runtime_comparison(run_runtime_comparison(args.datasets)))
+    elif args.command == "tradeoff":
+        print(format_tradeoff(run_tradeoff(args.dataset, algorithm=args.algorithm)))
+    elif args.command == "query":
+        print(format_query_driven(run_query_driven_suite(args.dataset)))
+    elif args.command == "quality":
+        print(format_quality_metric(run_quality_metric(args.dataset)))
+    elif args.command == "decompose":
+        _run_decompose(args)
+    else:  # pragma: no cover - argparse enforces valid commands
+        parser.error(f"unknown command {args.command!r}")
+    return 0
+
+
+def _run_decompose(args: argparse.Namespace) -> None:
+    graph = load_dataset(args.dataset)
+    space = NucleusSpace(graph, args.r, args.s)
+    result = nucleus_decomposition(space, algorithm=args.algorithm)
+    print(result.summary())
+    histogram_rows = [
+        {"kappa": k, "r_cliques": count}
+        for k, count in result.kappa_histogram().items()
+    ]
+    print(tables.format_table(histogram_rows, title="kappa histogram"))
+    if args.hierarchy:
+        hierarchy = build_hierarchy(space, result)
+        print(tables.format_table(hierarchy.to_rows(), title="nucleus hierarchy"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""High-level decomposition API: one call for any (r, s), any algorithm.
+
+These are the functions most users (and all examples) should call:
+
+>>> from repro import core_decomposition
+>>> result = core_decomposition(graph)                 # doctest: +SKIP
+>>> result = truss_decomposition(graph, algorithm="and")   # doctest: +SKIP
+>>> result = nucleus_decomposition(graph, r=3, s=4)        # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.core.asynd import and_decomposition
+from repro.core.peeling import peeling_decomposition
+from repro.core.result import DecompositionResult
+from repro.core.snd import snd_decomposition
+from repro.core.space import NucleusSpace
+from repro.graph.graph import Edge, Graph, Vertex
+
+__all__ = [
+    "nucleus_decomposition",
+    "core_decomposition",
+    "truss_decomposition",
+    "three_four_decomposition",
+    "core_numbers",
+    "truss_numbers",
+    "ALGORITHMS",
+]
+
+ALGORITHMS = ("peeling", "snd", "and")
+
+
+def nucleus_decomposition(
+    source: Union[Graph, NucleusSpace],
+    r: Optional[int] = None,
+    s: Optional[int] = None,
+    *,
+    algorithm: str = "and",
+    **options,
+) -> DecompositionResult:
+    """Compute the (r, s) nucleus decomposition with the chosen algorithm.
+
+    Parameters
+    ----------
+    source:
+        A :class:`Graph` (then ``r`` and ``s`` are required) or a prebuilt
+        :class:`NucleusSpace` (then ``r``/``s`` are taken from it).
+    algorithm:
+        ``"peeling"`` (exact global baseline, Algorithm 1),
+        ``"snd"`` (synchronous local, Algorithm 2) or
+        ``"and"`` (asynchronous local, Algorithm 3 — the default).
+    options:
+        Forwarded to the selected algorithm (e.g. ``max_iterations``,
+        ``record_history``, ``order``, ``notification``).
+
+    Returns
+    -------
+    DecompositionResult
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+        )
+    if isinstance(source, NucleusSpace):
+        space = source
+    else:
+        if r is None or s is None:
+            raise ValueError("r and s are required when passing a Graph")
+        space = NucleusSpace(source, r, s)
+
+    if algorithm == "peeling":
+        if options:
+            raise ValueError(
+                f"peeling accepts no extra options, got {sorted(options)}"
+            )
+        return peeling_decomposition(space)
+    if algorithm == "snd":
+        return snd_decomposition(space, **options)
+    return and_decomposition(space, **options)
+
+
+def core_decomposition(
+    graph: Graph, *, algorithm: str = "and", **options
+) -> DecompositionResult:
+    """k-core decomposition, i.e. the (1, 2) nucleus decomposition."""
+    return nucleus_decomposition(graph, 1, 2, algorithm=algorithm, **options)
+
+
+def truss_decomposition(
+    graph: Graph, *, algorithm: str = "and", **options
+) -> DecompositionResult:
+    """k-truss decomposition, i.e. the (2, 3) nucleus decomposition.
+
+    Following the paper (and unlike Cohen's original definition) an edge's
+    truss number here is the number of triangles, not triangles + 2.
+    """
+    return nucleus_decomposition(graph, 2, 3, algorithm=algorithm, **options)
+
+
+def three_four_decomposition(
+    graph: Graph, *, algorithm: str = "and", **options
+) -> DecompositionResult:
+    """(3, 4) nucleus decomposition — the paper's sweet spot for dense subgraphs."""
+    return nucleus_decomposition(graph, 3, 4, algorithm=algorithm, **options)
+
+
+def core_numbers(
+    graph: Graph, *, algorithm: str = "and", **options
+) -> Dict[Vertex, int]:
+    """Convenience wrapper returning ``{vertex: core number}``."""
+    result = core_decomposition(graph, algorithm=algorithm, **options)
+    return {clique[0]: k for clique, k in zip(result.cliques, result.kappa)}
+
+
+def truss_numbers(
+    graph: Graph, *, algorithm: str = "and", **options
+) -> Dict[Edge, int]:
+    """Convenience wrapper returning ``{edge: truss number}``."""
+    result = truss_decomposition(graph, algorithm=algorithm, **options)
+    return {clique: k for clique, k in zip(result.cliques, result.kappa)}

@@ -1,0 +1,281 @@
+"""Building the hierarchy of k-(r, s) nuclei from κ indices.
+
+The κ indices alone only say how dense a region each r-clique belongs to;
+the *hierarchy* — which nuclei exist at each k and how they nest — is what
+the paper uses for applications like mapping research areas in citation
+networks.  A k-(r, s) nucleus is an S-connected component of the r-cliques
+with κ >= k (Definition 3): two r-cliques are S-connected when they are
+linked by a chain of r-cliques in which consecutive members share an
+s-clique whose r-cliques all have κ >= k.
+
+This module materialises, for every k from 0 to κ_max, the nuclei at that
+threshold and links each nucleus to its parent (the nucleus at the largest
+smaller k that contains it), producing a forest that mirrors the paper's
+hierarchy figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.result import DecompositionResult
+from repro.core.space import NucleusSpace
+from repro.graph.graph import Graph, Vertex
+
+__all__ = ["Nucleus", "NucleusHierarchy", "build_hierarchy"]
+
+
+@dataclass
+class Nucleus:
+    """A single k-(r, s) nucleus.
+
+    The same set of r-cliques is typically a nucleus over a *range* of
+    thresholds (it appears at ``k_low`` and persists unchanged up to
+    ``k_high`` before splitting or disappearing); both ends of the range are
+    recorded.
+
+    Attributes
+    ----------
+    node_id:
+        Identifier within the hierarchy (stable for a given decomposition).
+    k_low:
+        Smallest threshold at which this exact member set is a nucleus.
+    k_high:
+        Largest threshold at which this exact member set is a nucleus — the
+        strongest density guarantee the nucleus carries.  Exposed as ``k``.
+    clique_indices:
+        Indices (into the space) of the r-cliques it contains.
+    vertices:
+        Union of the vertices of those r-cliques.
+    parent:
+        ``node_id`` of the enclosing nucleus with a strictly larger member
+        set, or ``None`` for roots.
+    children:
+        ``node_id``s of nuclei directly nested inside this one.
+    """
+
+    node_id: int
+    k_low: int
+    k_high: int
+    clique_indices: FrozenIndices = ()
+    vertices: Set[Vertex] = field(default_factory=set)
+    parent: Optional[int] = None
+    children: List[int] = field(default_factory=list)
+
+    @property
+    def k(self) -> int:
+        """The strongest threshold this nucleus satisfies (alias for k_high)."""
+        return self.k_high
+
+    def size(self) -> int:
+        return len(self.vertices)
+
+    def active_at(self, k: int) -> bool:
+        """True if this exact member set is a nucleus at threshold ``k``."""
+        return self.k_low <= k <= self.k_high
+
+
+FrozenIndices = Tuple[int, ...]
+
+
+class NucleusHierarchy:
+    """Forest of nuclei across all k values, with density annotations."""
+
+    def __init__(
+        self,
+        space: NucleusSpace,
+        kappa: Sequence[int],
+        nodes: List[Nucleus],
+    ) -> None:
+        self.space = space
+        self.kappa = list(kappa)
+        self.nodes = nodes
+        self._by_id = {node.node_id: node for node in nodes}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> Nucleus:
+        return self._by_id[node_id]
+
+    def roots(self) -> List[Nucleus]:
+        """Nuclei with no parent (the coarsest dense regions)."""
+        return [n for n in self.nodes if n.parent is None]
+
+    def leaves(self) -> List[Nucleus]:
+        """Nuclei with no children (the densest innermost regions)."""
+        return [n for n in self.nodes if not n.children]
+
+    def nuclei_at(self, k: int) -> List[Nucleus]:
+        """All nuclei active at threshold ``k`` (their k range contains ``k``)."""
+        return [n for n in self.nodes if n.active_at(k)]
+
+    def max_k(self) -> int:
+        """The largest threshold at which any nucleus exists (= max κ index)."""
+        return max((n.k_high for n in self.nodes), default=0)
+
+    def density_of(self, node_id: int) -> float:
+        """Edge density of the subgraph induced by a nucleus's vertices."""
+        node = self._by_id[node_id]
+        sub = self.space.graph.subgraph(node.vertices)
+        return sub.density()
+
+    def depth_of(self, node_id: int) -> int:
+        """Number of ancestors of a nucleus (roots have depth 0)."""
+        depth = 0
+        node = self._by_id[node_id]
+        while node.parent is not None:
+            node = self._by_id[node.parent]
+            depth += 1
+        return depth
+
+    def path_to_root(self, node_id: int) -> List[int]:
+        """Node ids from the given nucleus up to (and including) its root."""
+        path = [node_id]
+        node = self._by_id[node_id]
+        while node.parent is not None:
+            path.append(node.parent)
+            node = self._by_id[node.parent]
+        return path
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Flatten the hierarchy into table rows (used by examples / CLI)."""
+        rows = []
+        for node in sorted(self.nodes, key=lambda n: (n.k_high, n.node_id)):
+            rows.append(
+                {
+                    "id": node.node_id,
+                    "k": node.k_high,
+                    "k_low": node.k_low,
+                    "num_vertices": len(node.vertices),
+                    "num_r_cliques": len(node.clique_indices),
+                    "density": round(self.density_of(node.node_id), 4),
+                    "parent": node.parent,
+                    "depth": self.depth_of(node.node_id),
+                }
+            )
+        return rows
+
+
+def build_hierarchy(
+    space: NucleusSpace,
+    result_or_kappa,
+) -> NucleusHierarchy:
+    """Construct the nucleus hierarchy from a decomposition result.
+
+    Parameters
+    ----------
+    space:
+        The clique space the decomposition was computed on.
+    result_or_kappa:
+        Either a :class:`DecompositionResult` or a sequence of κ values
+        aligned with ``space.cliques``.
+
+    Notes
+    -----
+    For each threshold ``k`` (from 1 to κ_max; k = 0 always yields one
+    nucleus per S-connected component of the whole structure and is included
+    as the forest roots), the r-cliques with κ >= k are grouped into
+    S-connected components using only s-cliques whose member r-cliques all
+    satisfy the threshold.  A component identical to its parent component
+    (same member set) is skipped so the hierarchy contains only genuine
+    refinements.
+    """
+    kappa = (
+        list(result_or_kappa.kappa)
+        if isinstance(result_or_kappa, DecompositionResult)
+        else list(result_or_kappa)
+    )
+    if len(kappa) != len(space):
+        raise ValueError("kappa length does not match the clique space")
+
+    nodes: List[Nucleus] = []
+    next_id = 0
+    # previous level components as {frozenset(clique indices): node_id}
+    previous: Dict[frozenset, int] = {}
+    max_k = max(kappa, default=0)
+
+    for k in range(0, max_k + 1):
+        eligible = [i for i in range(len(space)) if kappa[i] >= k]
+        components = _s_connected_components(space, kappa, k, eligible)
+        current: Dict[frozenset, int] = {}
+        for comp in components:
+            key = frozenset(comp)
+            parent_id = _find_parent(key, previous)
+            if parent_id is not None and key == frozenset(
+                nodes[_index_of(nodes, parent_id)].clique_indices
+            ):
+                # identical member set: the same nucleus persists at this
+                # threshold too — extend its k range instead of adding a node
+                nodes[_index_of(nodes, parent_id)].k_high = k
+                current[key] = parent_id
+                continue
+            vertices: Set[Vertex] = set()
+            for i in comp:
+                vertices.update(space.cliques[i])
+            node = Nucleus(
+                node_id=next_id,
+                k_low=k,
+                k_high=k,
+                clique_indices=tuple(sorted(comp)),
+                vertices=vertices,
+                parent=parent_id,
+            )
+            nodes.append(node)
+            if parent_id is not None:
+                nodes[_index_of(nodes, parent_id)].children.append(next_id)
+            current[key] = next_id
+            next_id += 1
+        previous = current
+
+    return NucleusHierarchy(space, kappa, nodes)
+
+
+def _s_connected_components(
+    space: NucleusSpace,
+    kappa: Sequence[int],
+    k: int,
+    eligible: List[int],
+) -> List[List[int]]:
+    """S-connected components of the eligible r-cliques at threshold k."""
+    eligible_set = set(eligible)
+    seen: Set[int] = set()
+    components: List[List[int]] = []
+    for start in eligible:
+        if start in seen:
+            continue
+        comp: List[int] = []
+        stack = [start]
+        seen.add(start)
+        while stack:
+            i = stack.pop()
+            comp.append(i)
+            for others in space.contexts(i):
+                # the connecting s-clique must live entirely above the threshold
+                if any(o not in eligible_set for o in others):
+                    continue
+                for o in others:
+                    if o not in seen:
+                        seen.add(o)
+                        stack.append(o)
+        components.append(sorted(comp))
+    return components
+
+
+def _find_parent(
+    key: frozenset, previous: Dict[frozenset, int]
+) -> Optional[int]:
+    """Find the previous-level component containing ``key`` (superset match)."""
+    for prev_key, node_id in previous.items():
+        if key <= prev_key:
+            return node_id
+    return None
+
+
+def _index_of(nodes: List[Nucleus], node_id: int) -> int:
+    for idx, node in enumerate(nodes):
+        if node.node_id == node_id:
+            return idx
+    raise KeyError(node_id)

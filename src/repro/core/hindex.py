@@ -1,0 +1,80 @@
+"""The H operator: largest ``h`` such that at least ``h`` values are ``>= h``.
+
+This is the kernel of the local algorithms (Definition 5 of the paper).  The
+paper stresses that it can be computed in linear time without sorting; we
+provide both the counting-based linear-time implementation and the early-exit
+check used in non-initial iterations ("once we see >= τ items with at least
+τ index, no more checks are needed").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["h_index", "h_index_sorted", "sustains_h"]
+
+
+def h_index(values: Iterable[int]) -> int:
+    """Linear-time h-index of a multiset of non-negative integers.
+
+    Uses a bounded counting array: any value larger than the number of items
+    cannot raise the h-index beyond that number, so values are clamped to
+    ``len(values)`` and counted in O(n) time and space.
+
+    >>> h_index([2, 3])
+    2
+    >>> h_index([1, 2])
+    1
+    >>> h_index([])
+    0
+    """
+    vals: List[int] = list(values)
+    n = len(vals)
+    if n == 0:
+        return 0
+    counts = [0] * (n + 1)
+    for v in vals:
+        if v < 0:
+            raise ValueError("h-index is only defined for non-negative values")
+        counts[min(v, n)] += 1
+    running = 0
+    for h in range(n, -1, -1):
+        running += counts[h]
+        if running >= h:
+            return h
+    return 0
+
+
+def h_index_sorted(values: Sequence[int]) -> int:
+    """Reference O(n log n) implementation used to cross-check :func:`h_index`.
+
+    Sorts in non-increasing order and scans for the largest ``h`` with
+    ``values[h - 1] >= h``.
+    """
+    ordered = sorted(values, reverse=True)
+    h = 0
+    for i, v in enumerate(ordered, start=1):
+        if v >= i:
+            h = i
+        else:
+            break
+    return h
+
+
+def sustains_h(values: Iterable[int], h: int) -> bool:
+    """Early-exit check: are there at least ``h`` values ``>= h``?
+
+    This is the heuristic from Section 4.4: once an r-clique's τ estimate is
+    ``h``, later iterations only need to confirm that ``h`` is still
+    sustainable; the scan stops as soon as ``h`` qualifying values are seen.
+    ``h = 0`` is always sustained.
+    """
+    if h <= 0:
+        return True
+    seen = 0
+    for v in values:
+        if v >= h:
+            seen += 1
+            if seen >= h:
+                return True
+    return False

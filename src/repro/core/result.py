@@ -1,0 +1,137 @@
+"""Result objects returned by every decomposition algorithm.
+
+All algorithms (peeling, SND, AND, query-driven) return a
+:class:`DecompositionResult` so that experiments, tests and user code can
+treat them uniformly: the κ (kappa) indices per r-clique, iteration history,
+operation counters and convergence metadata all live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.space import Clique, NucleusSpace
+
+__all__ = ["DecompositionResult", "IterationStats"]
+
+
+@dataclass
+class IterationStats:
+    """Per-iteration bookkeeping for the local (SND / AND) algorithms."""
+
+    iteration: int
+    updated: int                     # r-cliques whose τ changed this iteration
+    processed: int                   # r-cliques actually recomputed
+    skipped: int                     # r-cliques skipped by the notification mechanism
+    max_change: int                  # largest τ decrease observed
+    converged_count: int             # r-cliques already equal to their final κ
+
+    def as_row(self) -> Tuple[int, int, int, int, int, int]:
+        return (
+            self.iteration,
+            self.updated,
+            self.processed,
+            self.skipped,
+            self.max_change,
+            self.converged_count,
+        )
+
+
+@dataclass
+class DecompositionResult:
+    """Outcome of a core / truss / nucleus decomposition run.
+
+    Attributes
+    ----------
+    r, s:
+        The decomposition instance, e.g. (1, 2) for k-core.
+    algorithm:
+        Name of the algorithm that produced the result
+        (``"peeling"``, ``"snd"``, ``"and"``, ``"query"``).
+    kappa:
+        Final κ_s index per r-clique index (aligned with ``space.cliques``
+        when a space is attached).
+    cliques:
+        The r-clique tuples, index-aligned with ``kappa``.
+    iterations:
+        Number of update iterations executed (0 for peeling).
+    converged:
+        True if the run reached its fixed point (always true for peeling and
+        for local runs not cut short by ``max_iterations``).
+    tau_history:
+        Optional list of per-iteration τ snapshots (τ_0 is the S-degrees).
+        Only recorded when requested, because it is O(iterations · |R|).
+    iteration_stats:
+        Optional per-iteration counters (updates, skips, ...).
+    operations:
+        Coarse operation counters, e.g. ``{"rho_evaluations": ..., "h_index_calls": ...}``.
+    """
+
+    r: int
+    s: int
+    algorithm: str
+    kappa: List[int]
+    cliques: List[Clique]
+    iterations: int = 0
+    converged: bool = True
+    tau_history: Optional[List[List[int]]] = None
+    iteration_stats: List[IterationStats] = field(default_factory=list)
+    operations: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.kappa)
+
+    def kappa_of(self, clique: Clique) -> int:
+        """κ index of a specific r-clique (given as a canonical tuple)."""
+        return self.as_dict()[clique]
+
+    def as_dict(self) -> Dict[Clique, int]:
+        """Map r-clique tuple → κ index."""
+        return {c: k for c, k in zip(self.cliques, self.kappa)}
+
+    def max_kappa(self) -> int:
+        """Largest κ index (0 for an empty clique set)."""
+        return max(self.kappa, default=0)
+
+    def kappa_histogram(self) -> Dict[int, int]:
+        """Number of r-cliques per κ value, sorted by κ."""
+        hist: Dict[int, int] = {}
+        for k in self.kappa:
+            hist[k] = hist.get(k, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def vertices_with_kappa_at_least(self, k: int) -> set:
+        """Union of vertices of r-cliques whose κ index is >= k."""
+        out = set()
+        for clique, kappa in zip(self.cliques, self.kappa):
+            if kappa >= k:
+                out.update(clique)
+        return out
+
+    def summary(self) -> str:
+        """One-line human-readable summary used by the CLI and examples."""
+        return (
+            f"{self.algorithm} ({self.r},{self.s})-decomposition: "
+            f"{len(self.kappa)} r-cliques, max kappa={self.max_kappa()}, "
+            f"iterations={self.iterations}, converged={self.converged}"
+        )
+
+    @classmethod
+    def from_space(
+        cls,
+        space: NucleusSpace,
+        algorithm: str,
+        kappa: List[int],
+        **kwargs,
+    ) -> "DecompositionResult":
+        """Build a result aligned with an existing :class:`NucleusSpace`."""
+        return cls(
+            r=space.r,
+            s=space.s,
+            algorithm=algorithm,
+            kappa=list(kappa),
+            cliques=list(space.cliques),
+            **kwargs,
+        )

@@ -1,0 +1,17 @@
+"""Named, reproducible synthetic datasets standing in for the paper's graphs."""
+
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    dataset_statistics,
+    load_dataset,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "dataset_statistics",
+    "load_dataset",
+]

@@ -1,0 +1,25 @@
+"""Experiment harness: one module per table / figure of the paper.
+
+Each experiment module exposes a ``run_*`` function returning plain Python
+data (lists of dict rows or series) plus a ``format_*`` helper producing the
+text table that mirrors the paper's artefact.  The benchmarks in
+``benchmarks/`` and the CLI (``python -m repro``) are thin wrappers around
+these functions; EXPERIMENTS.md records the measured outputs next to the
+paper's qualitative claims.
+
+Experiment index (see DESIGN.md §4):
+
+* E1  Table 3     — :mod:`repro.experiments.datasets_table`
+* E2  Figure 1a/6 — :mod:`repro.experiments.convergence`
+* E3  Table 4     — :mod:`repro.experiments.iterations`
+* E4  Figure 5    — :mod:`repro.experiments.plateaus`
+* E5  Figure 1b/8 — :mod:`repro.experiments.scalability`
+* E6  Figure 7    — :mod:`repro.experiments.runtime`
+* E7  Figure 9    — :mod:`repro.experiments.tradeoff`
+* E8  Figure 10   — :mod:`repro.experiments.query_driven`
+* E9  quality     — :mod:`repro.experiments.quality_metric`
+"""
+
+from repro.experiments.tables import format_table
+
+__all__ = ["format_table"]

@@ -1,0 +1,94 @@
+"""E5 — Figures 1b / 8: scalability with the number of threads.
+
+The paper reports the speedup of the local algorithms at 4/6/12/24 threads
+relative to a partially parallel peeling baseline, showing near-linear
+scaling for the local algorithms because each r-clique update is independent
+within an iteration, versus quickly saturating peeling whose rounds form a
+sequential critical path.
+
+CPython cannot demonstrate real multi-core speedups for pure-Python kernels,
+so the speedups here come from the deterministic scheduling cost model in
+:mod:`repro.parallel.scheduler` (substitution documented in DESIGN.md §3):
+per-r-clique work = S-degree, static vs dynamic chunk scheduling for the
+local algorithms, per-κ-round parallelism for peeling.  The *shape* —
+local algorithms keep scaling, peeling flattens, dynamic beats static when
+work is skewed — is the reproduced result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.peeling import peeling_decomposition
+from repro.core.space import NucleusSpace
+from repro.datasets.registry import load_dataset
+from repro.experiments.tables import format_table
+from repro.parallel.runner import (
+    simulate_local_scalability,
+    simulate_peeling_scalability,
+)
+
+__all__ = ["run_scalability", "format_scalability", "DEFAULT_THREAD_COUNTS"]
+
+DEFAULT_THREAD_COUNTS: Tuple[int, ...] = (1, 4, 6, 12, 24)
+
+
+def run_scalability(
+    datasets: Sequence[str],
+    r: int = 2,
+    s: int = 3,
+    *,
+    thread_counts: Sequence[int] = DEFAULT_THREAD_COUNTS,
+    chunk_size: int = 1,
+) -> List[Dict[str, object]]:
+    """Simulated speedups for the local algorithm (static & dynamic) and peeling.
+
+    Returns one row per (dataset, thread count) with the three speedups and
+    the local/peeling speedup ratio (the headline comparison of Figure 1b).
+    """
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        graph = load_dataset(dataset)
+        space = NucleusSpace(graph, r, s)
+        kappa = peeling_decomposition(space).kappa
+        local_dynamic = simulate_local_scalability(
+            space, thread_counts, policy="dynamic", chunk_size=chunk_size
+        )
+        local_static = simulate_local_scalability(
+            space, thread_counts, policy="static", chunk_size=chunk_size
+        )
+        peeling = simulate_peeling_scalability(space, thread_counts, kappa=kappa)
+        for p in thread_counts:
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "r": r,
+                    "s": s,
+                    "threads": p,
+                    "local_dynamic_speedup": round(local_dynamic[p].speedup, 3),
+                    "local_static_speedup": round(local_static[p].speedup, 3),
+                    "peeling_speedup": round(peeling[p].speedup, 3),
+                    "local_vs_peeling": round(
+                        local_dynamic[p].speedup / max(peeling[p].speedup, 1e-9), 3
+                    ),
+                }
+            )
+    return rows
+
+
+def format_scalability(rows: Sequence[Dict[str, object]]) -> str:
+    """Render the scalability series as text."""
+    return format_table(
+        rows,
+        columns=[
+            "dataset",
+            "r",
+            "s",
+            "threads",
+            "local_dynamic_speedup",
+            "local_static_speedup",
+            "peeling_speedup",
+            "local_vs_peeling",
+        ],
+        title="Figure 1b / 8 — simulated speedup vs number of threads",
+    )

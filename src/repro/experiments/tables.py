@@ -1,0 +1,61 @@
+"""Plain-text table formatting shared by the experiment harness and the CLI."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "rows_to_csv"]
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Sequence[str] = (),
+    *,
+    title: str = "",
+) -> str:
+    """Render a list of dict rows as an aligned monospace table.
+
+    Parameters
+    ----------
+    rows:
+        Sequence of dictionaries; missing keys render as empty cells.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional title printed above the table.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    rendered: List[List[str]] = [[_cell(row.get(c)) for c in cols] for row in rows]
+    widths = [
+        max(len(c), max(len(r[i]) for r in rendered)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(cols))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(cols))))
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[Dict[str, object]], columns: Sequence[str] = ()) -> str:
+    """Render rows as a minimal CSV string (no quoting of commas needed here)."""
+    if not rows:
+        return ""
+    cols = list(columns) if columns else list(rows[0].keys())
+    lines = [",".join(cols)]
+    for row in rows:
+        lines.append(",".join(_cell(row.get(c)) for c in cols))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

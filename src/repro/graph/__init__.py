@@ -1,0 +1,59 @@
+"""Graph substrate: simple undirected graphs, generators, cliques, and I/O.
+
+This subpackage is self-contained (no dependency on :mod:`repro.core`) so it
+can be reused as a lightweight graph library.  Everything operates on the
+:class:`repro.graph.graph.Graph` class, which stores an undirected simple
+graph as adjacency sets over integer (or hashable) vertex identifiers.
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    heterogeneous_cluster_graph,
+    hierarchical_community_graph,
+    planted_clique_graph,
+    powerlaw_cluster_graph,
+    ring_of_cliques,
+    watts_strogatz_graph,
+)
+from repro.graph.io import (
+    read_edge_list,
+    read_json_graph,
+    write_edge_list,
+    write_json_graph,
+)
+from repro.graph.triangles import (
+    count_triangles,
+    degeneracy_ordering,
+    edge_triangle_counts,
+    enumerate_triangles,
+)
+from repro.graph.cliques import (
+    clique_degrees,
+    count_k_cliques,
+    enumerate_k_cliques,
+)
+
+__all__ = [
+    "Graph",
+    "barabasi_albert_graph",
+    "erdos_renyi_graph",
+    "heterogeneous_cluster_graph",
+    "hierarchical_community_graph",
+    "planted_clique_graph",
+    "powerlaw_cluster_graph",
+    "ring_of_cliques",
+    "watts_strogatz_graph",
+    "read_edge_list",
+    "read_json_graph",
+    "write_edge_list",
+    "write_json_graph",
+    "count_triangles",
+    "degeneracy_ordering",
+    "edge_triangle_counts",
+    "enumerate_triangles",
+    "clique_degrees",
+    "count_k_cliques",
+    "enumerate_k_cliques",
+]

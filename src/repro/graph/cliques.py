@@ -1,0 +1,153 @@
+"""k-clique enumeration and per-clique participation counts.
+
+The (r, s) nucleus decomposition needs, for every r-clique R, the s-cliques
+that contain it.  Materialising that bipartite structure (the "hypergraph")
+is infeasible for large graphs, so — as in the paper — we enumerate r-cliques
+once and discover their s-clique participation on the fly from adjacency
+intersections.  This module provides the enumeration primitives; the
+decomposition-facing view lives in :mod:`repro.core.space`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterator, List, Tuple
+
+from repro.graph.graph import Graph, Vertex
+from repro.graph.triangles import degeneracy_ordering
+
+__all__ = [
+    "enumerate_k_cliques",
+    "count_k_cliques",
+    "clique_degrees",
+    "cliques_containing",
+    "is_clique",
+]
+
+Clique = Tuple[Vertex, ...]
+
+
+def is_clique(graph: Graph, vertices: Tuple[Vertex, ...]) -> bool:
+    """Return True iff the given vertices are pairwise adjacent in ``graph``."""
+    verts = list(vertices)
+    if len(set(verts)) != len(verts):
+        return False
+    for i in range(len(verts)):
+        if verts[i] not in graph:
+            return False
+        for j in range(i + 1, len(verts)):
+            if not graph.has_edge(verts[i], verts[j]):
+                return False
+    return True
+
+
+def enumerate_k_cliques(graph: Graph, k: int) -> Iterator[Clique]:
+    """Yield every k-clique exactly once as a tuple sorted by degeneracy rank.
+
+    Uses the degeneracy orientation: each clique is discovered from its
+    lowest-ranked vertex by expanding within forward neighbourhoods, which
+    keeps the search space proportional to the graph's degeneracy rather than
+    its maximum degree.
+
+    ``k = 1`` yields single-vertex tuples, ``k = 2`` yields edges.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    order = degeneracy_ordering(graph)
+    rank = {v: i for i, v in enumerate(order)}
+    forward: Dict[Vertex, List[Vertex]] = {v: [] for v in order}
+    for u, v in graph.edges():
+        if rank[u] < rank[v]:
+            forward[u].append(v)
+        else:
+            forward[v].append(u)
+    for v in forward:
+        forward[v].sort(key=lambda x: rank[x])
+
+    if k == 1:
+        for v in order:
+            yield (v,)
+        return
+
+    def extend(prefix: List[Vertex], candidates: List[Vertex]) -> Iterator[Clique]:
+        if len(prefix) == k:
+            yield tuple(prefix)
+            return
+        remaining = k - len(prefix)
+        for idx, w in enumerate(candidates):
+            if len(candidates) - idx < remaining:
+                break
+            new_candidates = [
+                x for x in candidates[idx + 1:] if graph.has_edge(w, x)
+            ]
+            prefix.append(w)
+            yield from extend(prefix, new_candidates)
+            prefix.pop()
+
+    for u in order:
+        yield from extend([u], forward[u])
+
+
+def count_k_cliques(graph: Graph, k: int) -> int:
+    """Total number of k-cliques in the graph."""
+    return sum(1 for _ in enumerate_k_cliques(graph, k))
+
+
+def clique_degrees(graph: Graph, r: int, s: int) -> Dict[Clique, int]:
+    """S-degrees: for every r-clique, the number of s-cliques containing it.
+
+    The result maps each r-clique (as a tuple sorted by vertex repr, i.e. a
+    canonical key independent of enumeration order) to its s-clique count.
+    r-cliques contained in no s-clique are present with count 0.
+    """
+    if not r < s:
+        raise ValueError("need r < s")
+    degrees: Dict[Clique, int] = {
+        canonical_clique(c): 0 for c in enumerate_k_cliques(graph, r)
+    }
+    for s_clique in enumerate_k_cliques(graph, s):
+        for sub in combinations(canonical_clique(s_clique), r):
+            degrees[tuple(sub)] += 1
+    return degrees
+
+
+def cliques_containing(
+    graph: Graph, base: Clique, k: int
+) -> Iterator[Clique]:
+    """Yield every k-clique of ``graph`` that contains all vertices of ``base``.
+
+    ``base`` must itself be a clique with ``len(base) <= k``.  The candidates
+    are the common neighbours of ``base``, so the cost is local to the clique's
+    neighbourhood — this is the on-the-fly discovery step used throughout the
+    decomposition algorithms.
+    """
+    base = tuple(base)
+    if len(base) > k:
+        raise ValueError("base clique larger than k")
+    if not is_clique(graph, base):
+        raise ValueError(f"{base!r} is not a clique of the graph")
+    common = None
+    for v in base:
+        nbrs = graph.neighbors(v)
+        common = set(nbrs) if common is None else common & nbrs
+    if common is None:
+        # base is empty: fall back to full enumeration
+        yield from enumerate_k_cliques(graph, k)
+        return
+    common -= set(base)
+    extra_needed = k - len(base)
+    if extra_needed == 0:
+        yield canonical_clique(base)
+        return
+    common_sorted = sorted(common, key=repr)
+    for extra in combinations(common_sorted, extra_needed):
+        if is_clique(graph, extra):
+            yield canonical_clique(base + extra)
+
+
+def canonical_clique(vertices: Tuple[Vertex, ...]) -> Clique:
+    """Canonical (sorted) representation of a clique, stable across runs."""
+    try:
+        return tuple(sorted(vertices))
+    except TypeError:
+        return tuple(sorted(vertices, key=repr))

@@ -1,0 +1,316 @@
+"""A simple undirected graph tailored to dense-subgraph decompositions.
+
+The decomposition algorithms in :mod:`repro.core` only need fast neighbour
+iteration, fast membership tests (for triangle and clique enumeration), and
+cheap induced subgraphs.  ``Graph`` therefore stores adjacency as
+``dict[vertex, set[vertex]]`` and offers a small, explicit API instead of
+wrapping :mod:`networkx`.  Conversion helpers to and from networkx are
+provided for interoperability and for cross-checking results in tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+__all__ = ["Graph", "Vertex", "Edge", "canonical_edge"]
+
+
+def canonical_edge(u: Vertex, v: Vertex) -> Edge:
+    """Return the canonical (sorted) representation of the edge ``{u, v}``.
+
+    Vertices are compared with ``<`` when possible and fall back to comparing
+    their ``repr`` so that mixed-type vertex sets still canonicalise
+    deterministically.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class Graph:
+    """An undirected simple graph (no self-loops, no parallel edges).
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of ``(u, v)`` pairs used to initialise the graph.
+    vertices:
+        Optional iterable of vertices to add (useful for isolated vertices).
+
+    Examples
+    --------
+    >>> g = Graph([(0, 1), (1, 2), (0, 2)])
+    >>> g.number_of_vertices(), g.number_of_edges()
+    (3, 3)
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    """
+
+    def __init__(
+        self,
+        edges: Optional[Iterable[Edge]] = None,
+        vertices: Optional[Iterable[Vertex]] = None,
+    ) -> None:
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        self._num_edges = 0
+        if vertices is not None:
+            for v in vertices:
+                self.add_vertex(v)
+        if edges is not None:
+            self.add_edges_from(edges)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: Vertex) -> None:
+        """Add an isolated vertex (no-op if it already exists)."""
+        if v not in self._adj:
+            self._adj[v] = set()
+
+    def add_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Add the undirected edge ``{u, v}``.
+
+        Returns ``True`` if the edge was new, ``False`` if it already existed.
+        Self-loops are rejected with ``ValueError``.
+        """
+        if u == v:
+            raise ValueError(f"self-loops are not allowed (vertex {u!r})")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v in self._adj[u]:
+            return False
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._num_edges += 1
+        return True
+
+    def add_edges_from(self, edges: Iterable[Edge]) -> int:
+        """Add all edges from an iterable; return the number of new edges."""
+        added = 0
+        for u, v in edges:
+            if self.add_edge(u, v):
+                added += 1
+        return added
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge ``{u, v}``; raise ``KeyError`` if it is absent."""
+        if not self.has_edge(u, v):
+            raise KeyError(f"edge ({u!r}, {v!r}) not in graph")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove a vertex and all incident edges."""
+        if v not in self._adj:
+            raise KeyError(f"vertex {v!r} not in graph")
+        for nbr in list(self._adj[v]):
+            self.remove_edge(v, nbr)
+        del self._adj[v]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has_vertex(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, v: Vertex) -> Set[Vertex]:
+        """Return the (live) neighbour set of ``v``.
+
+        The returned set is the internal adjacency set; callers must not
+        mutate it.  Use ``set(g.neighbors(v))`` for a private copy.
+        """
+        return self._adj[v]
+
+    def degree(self, v: Vertex) -> int:
+        return len(self._adj[v])
+
+    def degrees(self) -> Dict[Vertex, int]:
+        """Return a dict mapping every vertex to its degree."""
+        return {v: len(nbrs) for v, nbrs in self._adj.items()}
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges, each reported once in canonical order."""
+        seen: Set[Edge] = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                e = canonical_edge(u, v)
+                if e not in seen:
+                    seen.add(e)
+                    yield e
+
+    def number_of_vertices(self) -> int:
+        return len(self._adj)
+
+    def number_of_edges(self) -> int:
+        return self._num_edges
+
+    def density(self) -> float:
+        """Graph density ``2|E| / (|V| (|V|-1))``; 0.0 for graphs with < 2 vertices."""
+        n = self.number_of_vertices()
+        if n < 2:
+            return 0.0
+        return 2.0 * self._num_edges / (n * (n - 1))
+
+    def max_degree(self) -> int:
+        """Maximum vertex degree (0 for the empty graph)."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(|V|={self.number_of_vertices()}, "
+            f"|E|={self.number_of_edges()})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    # ------------------------------------------------------------------
+    # derived structures
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """Return a deep copy of the graph."""
+        g = Graph()
+        g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        g._num_edges = self._num_edges
+        return g
+
+    def subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
+        """Return the subgraph induced by ``vertices``.
+
+        Vertices absent from the graph are ignored.
+        """
+        keep = {v for v in vertices if v in self._adj}
+        g = Graph(vertices=keep)
+        for v in keep:
+            for nbr in self._adj[v]:
+                if nbr in keep:
+                    g.add_edge(v, nbr)
+        return g
+
+    def edge_subgraph(self, edges: Iterable[Edge]) -> "Graph":
+        """Return the subgraph consisting of the given edges (if present)."""
+        g = Graph()
+        for u, v in edges:
+            if self.has_edge(u, v):
+                g.add_edge(u, v)
+        return g
+
+    def connected_components(self) -> List[Set[Vertex]]:
+        """Return the connected components as a list of vertex sets.
+
+        Components are listed in decreasing order of size (ties broken by the
+        smallest contained vertex repr, for determinism).
+        """
+        seen: Set[Vertex] = set()
+        components: List[Set[Vertex]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            comp: Set[Vertex] = set()
+            queue = deque([start])
+            seen.add(start)
+            while queue:
+                v = queue.popleft()
+                comp.add(v)
+                for nbr in self._adj[v]:
+                    if nbr not in seen:
+                        seen.add(nbr)
+                        queue.append(nbr)
+            components.append(comp)
+        components.sort(key=lambda c: (-len(c), min(repr(v) for v in c)))
+        return components
+
+    def is_connected(self) -> bool:
+        """Return True for non-empty graphs with a single connected component."""
+        if not self._adj:
+            return False
+        return len(self.connected_components()[0]) == len(self._adj)
+
+    def bfs_ball(self, sources: Iterable[Vertex], radius: int) -> Set[Vertex]:
+        """Return all vertices within ``radius`` hops of any source vertex.
+
+        Used by the query-driven estimator to carve out a local neighbourhood.
+        """
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        frontier = {v for v in sources if v in self._adj}
+        ball = set(frontier)
+        for _ in range(radius):
+            nxt: Set[Vertex] = set()
+            for v in frontier:
+                for nbr in self._adj[v]:
+                    if nbr not in ball:
+                        nxt.add(nbr)
+            if not nxt:
+                break
+            ball.update(nxt)
+            frontier = nxt
+        return ball
+
+    def relabeled(self) -> Tuple["Graph", Dict[Vertex, int]]:
+        """Return a copy with vertices relabelled to ``0..n-1`` plus the mapping.
+
+        The mapping is ``original vertex -> new integer id``, assigned in the
+        sorted order of the original vertex representations for determinism.
+        """
+        ordered = sorted(self._adj, key=repr)
+        mapping = {v: i for i, v in enumerate(ordered)}
+        g = Graph(vertices=range(len(ordered)))
+        for u, v in self.edges():
+            g.add_edge(mapping[u], mapping[v])
+        return g, mapping
+
+    # ------------------------------------------------------------------
+    # interoperability
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (used for cross-checks)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self._adj)
+        g.add_edges_from(self.edges())
+        return g
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "Graph":
+        """Build a :class:`Graph` from a networkx graph (ignoring attributes)."""
+        g = cls(vertices=nx_graph.nodes())
+        for u, v in nx_graph.edges():
+            if u != v:
+                g.add_edge(u, v)
+        return g
+
+    @classmethod
+    def from_edge_list(cls, pairs: Iterable[Tuple[int, int]]) -> "Graph":
+        """Build a graph from an iterable of integer pairs, skipping self-loops."""
+        g = cls()
+        for u, v in pairs:
+            if u != v:
+                g.add_edge(u, v)
+        return g

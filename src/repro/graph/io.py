@@ -1,0 +1,96 @@
+"""Reading and writing graphs in plain-text and JSON formats.
+
+The paper's datasets are distributed as whitespace-separated edge lists (SNAP
+format); :func:`read_edge_list` accepts that format, including ``#`` comment
+lines.  JSON round-tripping is provided for small fixtures checked into test
+suites.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.graph.graph import Graph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_json_graph",
+    "write_json_graph",
+]
+
+PathLike = Union[str, Path]
+
+
+def read_edge_list(path: PathLike, *, comment: str = "#") -> Graph:
+    """Read a whitespace-separated edge list into a :class:`Graph`.
+
+    Lines starting with ``comment`` (after stripping) and blank lines are
+    ignored.  Vertex tokens that parse as integers are stored as ``int``;
+    anything else is kept as a string.  Self-loops are skipped silently and
+    duplicate edges collapse (the graph is simple).
+    """
+    graph = Graph()
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(
+                    f"{path}:{lineno}: expected at least two tokens, got {line!r}"
+                )
+            u, v = _parse_vertex(parts[0]), _parse_vertex(parts[1])
+            if u != v:
+                graph.add_edge(u, v)
+    return graph
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write the graph as one ``u v`` pair per line (canonical edge order)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# vertices={graph.number_of_vertices()} "
+                     f"edges={graph.number_of_edges()}\n")
+        for u, v in sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1]))):
+            handle.write(f"{u} {v}\n")
+
+
+def read_json_graph(path: PathLike) -> Graph:
+    """Read a graph previously written by :func:`write_json_graph`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if "edges" not in payload:
+        raise ValueError(f"{path}: missing 'edges' key")
+    graph = Graph(vertices=payload.get("vertices", []))
+    for u, v in payload["edges"]:
+        graph.add_edge(u, v)
+    return graph
+
+
+def write_json_graph(graph: Graph, path: PathLike) -> None:
+    """Write the graph as ``{"vertices": [...], "edges": [[u, v], ...]}``."""
+    path = Path(path)
+    payload = {
+        "vertices": sorted(graph.vertices(), key=repr),
+        "edges": sorted(
+            ([u, v] for u, v in graph.edges()),
+            key=lambda e: (repr(e[0]), repr(e[1])),
+        ),
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def _parse_vertex(token: str):
+    """Parse a vertex token: integers become ``int``, everything else ``str``."""
+    try:
+        return int(token)
+    except ValueError:
+        return token

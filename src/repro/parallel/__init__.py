@@ -1,0 +1,36 @@
+"""Shared-memory parallel execution substrate.
+
+The paper parallelises the local algorithms with OpenMP and studies static vs
+dynamic scheduling.  CPython's GIL makes genuine multi-core speedups for
+pure-Python kernels impossible, so this package provides two complementary
+backends (the substitution is documented in DESIGN.md §3):
+
+* :class:`repro.parallel.scheduler.SimulatedScheduler` — a deterministic cost
+  model that assigns per-r-clique work to ``p`` virtual threads under static
+  or dynamic scheduling and reports the makespan.  The scalability
+  experiments (E5) are produced from these makespans, which reproduce the
+  load-imbalance behaviour the paper discusses.
+* :class:`repro.parallel.scheduler.ThreadPoolBackend` — a real
+  ``concurrent.futures`` thread pool used to validate that the SND iteration
+  is safe to execute concurrently (functional correctness, not speed).
+"""
+
+from repro.parallel.scheduler import (
+    ScheduleReport,
+    SimulatedScheduler,
+    ThreadPoolBackend,
+)
+from repro.parallel.runner import (
+    parallel_snd_decomposition,
+    simulate_local_scalability,
+    simulate_peeling_scalability,
+)
+
+__all__ = [
+    "ScheduleReport",
+    "SimulatedScheduler",
+    "ThreadPoolBackend",
+    "parallel_snd_decomposition",
+    "simulate_local_scalability",
+    "simulate_peeling_scalability",
+]

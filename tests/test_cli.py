@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_decompose_defaults(self):
+        args = build_parser().parse_args(["decompose"])
+        assert args.dataset == "fb"
+        assert args.algorithm == "and"
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_decompose_toy(self, capsys):
+        assert main(["decompose", "--dataset", "toy", "--r", "1", "--s", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "decomposition" in out
+        assert "kappa histogram" in out
+
+    def test_decompose_with_hierarchy(self, capsys):
+        assert (
+            main(
+                [
+                    "decompose",
+                    "--dataset",
+                    "toy",
+                    "--r",
+                    "2",
+                    "--s",
+                    "3",
+                    "--algorithm",
+                    "peeling",
+                    "--hierarchy",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "nucleus hierarchy" in out
+
+    def test_convergence_command(self, capsys):
+        assert (
+            main(
+                [
+                    "convergence",
+                    "--datasets",
+                    "toy",
+                    "--max-iterations",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        assert "kendall_tau" in capsys.readouterr().out
+
+    def test_iterations_command(self, capsys):
+        assert main(["iterations", "--datasets", "toy"]) == 0
+        assert "Table 4" in capsys.readouterr().out
+
+    def test_scalability_command(self, capsys):
+        assert (
+            main(["scalability", "--datasets", "toy", "--threads", "1", "4"]) == 0
+        )
+        assert "speedup" in capsys.readouterr().out
+
+    def test_tradeoff_command(self, capsys):
+        assert main(["tradeoff", "--dataset", "sw"]) == 0
+        assert "Figure 9" in capsys.readouterr().out
+
+    def test_query_command(self, capsys):
+        assert main(["query", "--dataset", "toy"]) == 0
+        assert "hops" in capsys.readouterr().out
+
+    def test_quality_command(self, capsys):
+        assert main(["quality", "--dataset", "sw"]) == 0
+        assert "stability" in capsys.readouterr().out
+
+    def test_plateaus_command(self, capsys):
+        assert main(["plateaus", "--dataset", "toy"]) == 0
+        assert "Figure 5" in capsys.readouterr().out

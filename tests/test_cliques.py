@@ -1,0 +1,133 @@
+"""Tests for k-clique enumeration and S-degree computation."""
+
+from itertools import combinations
+
+import networkx as nx
+import pytest
+
+from repro.graph.cliques import (
+    canonical_clique,
+    clique_degrees,
+    cliques_containing,
+    count_k_cliques,
+    enumerate_k_cliques,
+    is_clique,
+)
+from repro.graph.generators import complete_graph, powerlaw_cluster_graph
+from repro.graph.graph import Graph
+
+
+def nx_k_clique_count(graph, k):
+    """Count k-cliques with networkx (oracle for cross-checks)."""
+    return sum(
+        1
+        for clique in nx.enumerate_all_cliques(graph.to_networkx())
+        if len(clique) == k
+    )
+
+
+class TestIsClique:
+    def test_triangle(self, triangle_graph):
+        assert is_clique(triangle_graph, (0, 1, 2))
+
+    def test_non_clique(self):
+        g = Graph([(0, 1), (1, 2)])
+        assert not is_clique(g, (0, 1, 2))
+
+    def test_duplicate_vertices(self, triangle_graph):
+        assert not is_clique(triangle_graph, (0, 0, 1))
+
+    def test_missing_vertex(self, triangle_graph):
+        assert not is_clique(triangle_graph, (0, 9))
+
+
+class TestEnumeration:
+    def test_k1_yields_vertices(self, triangle_graph):
+        assert sorted(c[0] for c in enumerate_k_cliques(triangle_graph, 1)) == [0, 1, 2]
+
+    def test_k2_yields_edges(self, small_powerlaw_graph):
+        edges = {canonical_clique(c) for c in enumerate_k_cliques(small_powerlaw_graph, 2)}
+        expected = {canonical_clique(e) for e in small_powerlaw_graph.edges()}
+        assert edges == expected
+
+    def test_invalid_k(self, triangle_graph):
+        with pytest.raises(ValueError):
+            list(enumerate_k_cliques(triangle_graph, 0))
+
+    @pytest.mark.parametrize("k,expected", [(3, 20), (4, 15), (5, 6), (6, 1)])
+    def test_complete_graph_counts(self, k, expected):
+        assert count_k_cliques(complete_graph(6), k) == expected
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_matches_networkx(self, small_powerlaw_graph, k):
+        assert count_k_cliques(small_powerlaw_graph, k) == nx_k_clique_count(
+            small_powerlaw_graph, k
+        )
+
+    def test_no_duplicates(self, small_powerlaw_graph):
+        seen = set()
+        for clique in enumerate_k_cliques(small_powerlaw_graph, 3):
+            key = canonical_clique(clique)
+            assert key not in seen
+            seen.add(key)
+
+    def test_all_results_are_cliques(self, small_powerlaw_graph):
+        for clique in enumerate_k_cliques(small_powerlaw_graph, 4):
+            assert is_clique(small_powerlaw_graph, clique)
+
+
+class TestCliqueDegrees:
+    def test_vertex_edge_degrees_are_vertex_degrees(self, small_powerlaw_graph):
+        degrees = clique_degrees(small_powerlaw_graph, 1, 2)
+        for (v,), d in degrees.items():
+            assert d == small_powerlaw_graph.degree(v)
+
+    def test_edge_triangle_degrees_match_triangle_module(self, small_powerlaw_graph):
+        from repro.graph.triangles import edge_triangle_counts
+
+        degrees = clique_degrees(small_powerlaw_graph, 2, 3)
+        expected = edge_triangle_counts(small_powerlaw_graph)
+        assert degrees == expected
+
+    def test_sum_identity(self, small_powerlaw_graph):
+        """Each s-clique contributes C(s, r) to the total of all S-degrees."""
+        r, s = 2, 3
+        degrees = clique_degrees(small_powerlaw_graph, r, s)
+        num_s = count_k_cliques(small_powerlaw_graph, s)
+        assert sum(degrees.values()) == num_s * 3  # C(3,2)
+
+    def test_invalid_r_s(self, triangle_graph):
+        with pytest.raises(ValueError):
+            clique_degrees(triangle_graph, 3, 3)
+
+
+class TestCliquesContaining:
+    def test_triangles_containing_edge(self, k6_graph):
+        triangles = list(cliques_containing(k6_graph, (0, 1), 3))
+        assert len(triangles) == 4
+        for tri in triangles:
+            assert {0, 1} <= set(tri)
+
+    def test_four_cliques_containing_triangle(self, k6_graph):
+        quads = list(cliques_containing(k6_graph, (0, 1, 2), 4))
+        assert len(quads) == 3
+
+    def test_base_equal_k_returns_itself(self, triangle_graph):
+        assert list(cliques_containing(triangle_graph, (0, 1, 2), 3)) == [(0, 1, 2)]
+
+    def test_non_clique_base_raises(self):
+        g = Graph([(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            list(cliques_containing(g, (0, 2), 3))
+
+    def test_base_larger_than_k_raises(self, triangle_graph):
+        with pytest.raises(ValueError):
+            list(cliques_containing(triangle_graph, (0, 1, 2), 2))
+
+
+class TestCanonicalClique:
+    def test_sorts_integers_numerically(self):
+        assert canonical_clique((10, 2)) == (2, 10)
+
+    def test_mixed_types_fall_back_to_repr(self):
+        assert canonical_clique(("b", "a")) == ("a", "b")

@@ -1,0 +1,63 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import (
+    DATASETS,
+    dataset_names,
+    dataset_statistics,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_paper_datasets_present(self):
+        paper_codes = {"ask", "fb", "slj", "ork", "sse", "hg", "tw", "wgo", "wnd", "wiki"}
+        assert paper_codes <= set(DATASETS)
+
+    def test_dataset_names_excludes_extras(self):
+        names = dataset_names(include_extras=False)
+        assert "toy" not in names and "sw" not in names
+        assert len(names) == 10
+
+    def test_unknown_dataset_raises_with_hint(self):
+        with pytest.raises(KeyError) as excinfo:
+            load_dataset("nope")
+        assert "fb" in str(excinfo.value)
+
+    def test_loading_is_memoised(self):
+        assert load_dataset("toy") is load_dataset("toy")
+
+    def test_datasets_are_deterministic(self):
+        first = load_dataset("fb")
+        rebuilt = DATASETS["fb"].builder()
+        assert first == rebuilt
+
+    @pytest.mark.parametrize("name", dataset_names(include_extras=True))
+    def test_every_dataset_is_nonempty_and_simple(self, name):
+        graph = load_dataset(name)
+        assert graph.number_of_vertices() > 0
+        assert graph.number_of_edges() > 0
+        for v in graph.vertices():
+            assert v not in graph.neighbors(v)
+
+
+class TestStatistics:
+    def test_fb_statistics_columns(self):
+        stats = dataset_statistics("fb", max_clique_size=3)
+        assert {"vertices", "edges", "triangles"} <= set(stats)
+        assert "four_cliques" not in stats
+
+    def test_statistics_with_four_cliques(self):
+        stats = dataset_statistics("toy")
+        assert stats["four_cliques"] > 0
+        assert stats["triangles"] > 0
+
+    def test_social_standins_are_denser_than_web_standins(self):
+        """The qualitative Table 3 shape: social graphs have far more triangles
+        per edge than the sparse topology/hyperlink graphs."""
+        fb = dataset_statistics("fb", max_clique_size=3)
+        wiki = dataset_statistics("wiki", max_clique_size=3)
+        fb_ratio = fb["triangles"] / fb["edges"]
+        wiki_ratio = wiki["triangles"] / wiki["edges"]
+        assert fb_ratio > wiki_ratio

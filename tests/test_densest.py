@@ -1,0 +1,85 @@
+"""Tests for dense-subgraph extraction utilities."""
+
+import pytest
+
+from repro.core.densest import (
+    average_degree_density,
+    best_nucleus,
+    charikar_densest_subgraph,
+    max_core_subgraph,
+)
+from repro.graph.generators import complete_graph, planted_clique_graph
+from repro.graph.graph import Graph
+
+
+class TestAverageDegreeDensity:
+    def test_clique(self):
+        g = complete_graph(6)
+        assert average_degree_density(g, set(range(6))) == pytest.approx(2.5)
+
+    def test_empty_set(self, triangle_graph):
+        assert average_degree_density(triangle_graph, set()) == 0.0
+
+    def test_subset(self):
+        g = Graph([(0, 1), (1, 2), (2, 3)])
+        assert average_degree_density(g, {0, 1, 2}) == pytest.approx(2 / 3)
+
+
+class TestCharikar:
+    def test_planted_clique_recovered(self, planted_graph):
+        subgraph, density = charikar_densest_subgraph(planted_graph)
+        # the planted 12-clique has average degree 5.5, far above the background
+        assert set(range(12)) <= subgraph
+        assert density >= 5.5
+
+    def test_pure_clique(self):
+        g = complete_graph(5)
+        subgraph, density = charikar_densest_subgraph(g)
+        assert subgraph == set(range(5))
+        assert density == pytest.approx(2.0)
+
+    def test_single_edge(self):
+        g = Graph([(0, 1)])
+        subgraph, density = charikar_densest_subgraph(g)
+        assert density == pytest.approx(0.5)
+        assert subgraph == {0, 1}
+
+    def test_at_least_half_optimal_on_random_graph(self, small_powerlaw_graph):
+        """Greedy is a 1/2-approximation; compare against the max-core bound
+        (max core number / 2 <= optimal density)."""
+        _, greedy_density = charikar_densest_subgraph(small_powerlaw_graph)
+        _, core_density = max_core_subgraph(small_powerlaw_graph)
+        assert greedy_density >= core_density / 2
+
+
+class TestMaxCore:
+    def test_planted_clique(self, planted_graph):
+        vertices, density = max_core_subgraph(planted_graph)
+        assert set(range(12)) <= vertices
+        assert density > 0
+
+    def test_empty_graph(self):
+        assert max_core_subgraph(Graph()) == (set(), 0.0)
+
+
+class TestBestNucleus:
+    def test_planted_clique_is_best_34_nucleus(self, planted_graph):
+        nucleus, density = best_nucleus(planted_graph, 3, 4, min_size=4)
+        assert nucleus is not None
+        assert set(range(12)) <= nucleus.vertices
+        assert density > 0.9
+
+    def test_respects_min_size(self, triangle_graph):
+        nucleus, density = best_nucleus(triangle_graph, 1, 2, min_size=10)
+        assert nucleus is None
+        assert density == 0.0
+
+    def test_nucleus_at_least_as_dense_as_max_core(self, planted_graph):
+        """The paper's empirical claim: (3,4) nuclei are at least as dense as
+        the best k-core region."""
+        _, core_density = max_core_subgraph(planted_graph)
+        core_edge_density = None
+        vertices, _ = max_core_subgraph(planted_graph)
+        core_edge_density = planted_graph.subgraph(vertices).density()
+        nucleus, nucleus_density = best_nucleus(planted_graph, 3, 4, min_size=3)
+        assert nucleus_density >= core_edge_density - 1e-9

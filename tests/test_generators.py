@@ -1,0 +1,196 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    hierarchical_community_graph,
+    planted_clique_graph,
+    powerlaw_cluster_graph,
+    ring_of_cliques,
+    union_of_graphs,
+    watts_strogatz_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestCompleteGraph:
+    def test_edge_count(self):
+        g = complete_graph(6)
+        assert g.number_of_edges() == 15
+        assert g.density() == pytest.approx(1.0)
+
+    def test_zero_vertices(self):
+        assert complete_graph(0).number_of_vertices() == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            complete_graph(-1)
+
+
+class TestErdosRenyi:
+    def test_deterministic_with_seed(self):
+        a = erdos_renyi_graph(50, 0.1, seed=3)
+        b = erdos_renyi_graph(50, 0.1, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi_graph(50, 0.2, seed=1)
+        b = erdos_renyi_graph(50, 0.2, seed=2)
+        assert a != b
+
+    def test_extreme_probabilities(self):
+        assert erdos_renyi_graph(10, 0.0, seed=1).number_of_edges() == 0
+        assert erdos_renyi_graph(10, 1.0, seed=1).number_of_edges() == 45
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(5, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_vertex_and_edge_counts(self):
+        n, m = 100, 3
+        g = barabasi_albert_graph(n, m, seed=5)
+        assert g.number_of_vertices() == n
+        # initial K_{m+1} plus m edges per additional vertex
+        expected = m * (m + 1) // 2 + m * (n - m - 1)
+        assert g.number_of_edges() == expected
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, 5)
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, 0)
+
+    def test_deterministic(self):
+        assert barabasi_albert_graph(60, 2, seed=9) == barabasi_albert_graph(60, 2, seed=9)
+
+
+class TestWattsStrogatz:
+    def test_degree_structure_without_rewiring(self):
+        g = watts_strogatz_graph(20, 4, 0.0, seed=1)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_edge_count_preserved_by_rewiring(self):
+        g = watts_strogatz_graph(30, 4, 0.3, seed=2)
+        assert g.number_of_edges() == 30 * 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(5, 1, 0.1)
+
+
+class TestPowerlawCluster:
+    def test_counts_and_determinism(self):
+        g = powerlaw_cluster_graph(80, 4, 0.5, seed=4)
+        assert g.number_of_vertices() == 80
+        assert g == powerlaw_cluster_graph(80, 4, 0.5, seed=4)
+
+    def test_has_triangles(self):
+        from repro.graph.triangles import count_triangles
+
+        g = powerlaw_cluster_graph(80, 4, 0.8, seed=4)
+        assert count_triangles(g) > 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster_graph(10, 0, 0.5)
+        with pytest.raises(ValueError):
+            powerlaw_cluster_graph(10, 2, -0.1)
+
+
+class TestHeterogeneousCluster:
+    def test_counts_and_determinism(self):
+        from repro.graph.generators import heterogeneous_cluster_graph
+
+        g = heterogeneous_cluster_graph(100, 1, 8, 0.5, seed=4)
+        assert g.number_of_vertices() == 100
+        assert g == heterogeneous_cluster_graph(100, 1, 8, 0.5, seed=4)
+
+    def test_core_numbers_are_diverse(self):
+        """The whole point of the heterogeneous variant: unlike the fixed-m
+        Holme-Kim graph, core numbers span many distinct values."""
+        from repro.core.peeling import core_numbers_bz
+        from repro.graph.generators import heterogeneous_cluster_graph
+
+        g = heterogeneous_cluster_graph(200, 1, 12, 0.5, seed=5)
+        distinct = len(set(core_numbers_bz(g).values()))
+        assert distinct >= 5
+
+    def test_invalid_params(self):
+        from repro.graph.generators import heterogeneous_cluster_graph
+
+        with pytest.raises(ValueError):
+            heterogeneous_cluster_graph(10, 0, 3, 0.5)
+        with pytest.raises(ValueError):
+            heterogeneous_cluster_graph(10, 4, 2, 0.5)
+        with pytest.raises(ValueError):
+            heterogeneous_cluster_graph(10, 1, 3, 1.5)
+
+
+class TestPlantedClique:
+    def test_planted_clique_present(self):
+        size = 10
+        g = planted_clique_graph(60, size, 0.05, seed=6)
+        for u in range(size):
+            for v in range(u + 1, size):
+                assert g.has_edge(u, v)
+
+    def test_clique_larger_than_graph_raises(self):
+        with pytest.raises(ValueError):
+            planted_clique_graph(5, 6, 0.1)
+
+
+class TestRingOfCliques:
+    def test_structure(self):
+        g = ring_of_cliques(4, 5)
+        assert g.number_of_vertices() == 20
+        # 4 cliques of C(5,2)=10 edges plus 4 bridges
+        assert g.number_of_edges() == 44
+
+    def test_single_clique_no_bridge(self):
+        g = ring_of_cliques(1, 4)
+        assert g.number_of_edges() == 6
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ring_of_cliques(0, 3)
+
+
+class TestHierarchicalCommunity:
+    def test_size(self):
+        g = hierarchical_community_graph(levels=3, branching=2, leaf_size=5, seed=1)
+        assert g.number_of_vertices() == 4 * 5
+
+    def test_leaf_is_denser_than_cross_community(self):
+        g = hierarchical_community_graph(
+            levels=2, branching=2, leaf_size=10, p_intra=0.9, p_decay=0.1, seed=3
+        )
+        leaf = g.subgraph(range(10))
+        cross_edges = sum(
+            1 for u, v in g.edges() if (u < 10) != (v < 10)
+        )
+        max_cross = 10 * 10
+        assert leaf.density() > cross_edges / max_cross
+
+    def test_deterministic(self):
+        a = hierarchical_community_graph(seed=2)
+        b = hierarchical_community_graph(seed=2)
+        assert a == b
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            hierarchical_community_graph(levels=0)
+
+
+class TestUnionOfGraphs:
+    def test_disjoint_union(self):
+        a = complete_graph(3)
+        b = Graph([(0, 1)])
+        merged = union_of_graphs([a, b])
+        assert merged.number_of_vertices() == 5
+        assert merged.number_of_edges() == 4
+        assert len(merged.connected_components()) == 2

@@ -1,0 +1,173 @@
+"""Unit tests for the Graph substrate."""
+
+import pytest
+
+from repro.graph.graph import Graph, canonical_edge
+
+
+class TestConstruction:
+    def test_empty_graph(self, empty_graph):
+        assert empty_graph.number_of_vertices() == 0
+        assert empty_graph.number_of_edges() == 0
+        assert list(empty_graph.edges()) == []
+        assert not empty_graph.is_connected()
+
+    def test_add_edge_creates_vertices(self):
+        g = Graph()
+        assert g.add_edge(1, 2)
+        assert g.has_vertex(1) and g.has_vertex(2)
+        assert g.number_of_edges() == 1
+
+    def test_duplicate_edge_not_counted(self):
+        g = Graph()
+        assert g.add_edge(1, 2)
+        assert not g.add_edge(2, 1)
+        assert g.number_of_edges() == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(3, 3)
+
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        g.add_vertex("x")
+        g.add_vertex("x")
+        assert g.number_of_vertices() == 1
+
+    def test_init_from_edges_and_vertices(self):
+        g = Graph(edges=[(0, 1)], vertices=[5])
+        assert g.has_vertex(5)
+        assert g.degree(5) == 0
+        assert g.number_of_edges() == 1
+
+    def test_add_edges_from_returns_new_count(self):
+        g = Graph()
+        added = g.add_edges_from([(0, 1), (1, 0), (1, 2)])
+        assert added == 2
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        g = Graph([(0, 1), (1, 2)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.number_of_edges() == 1
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph([(0, 1)])
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 2)
+
+    def test_remove_vertex_removes_incident_edges(self):
+        g = Graph([(0, 1), (0, 2), (1, 2)])
+        g.remove_vertex(0)
+        assert not g.has_vertex(0)
+        assert g.number_of_edges() == 1
+        assert g.has_edge(1, 2)
+
+    def test_remove_missing_vertex_raises(self):
+        g = Graph()
+        with pytest.raises(KeyError):
+            g.remove_vertex(9)
+
+
+class TestQueries:
+    def test_degrees(self, triangle_graph):
+        assert triangle_graph.degrees() == {0: 2, 1: 2, 2: 2}
+        assert triangle_graph.max_degree() == 2
+
+    def test_density_triangle(self, triangle_graph):
+        assert triangle_graph.density() == pytest.approx(1.0)
+
+    def test_density_tiny(self):
+        assert Graph().density() == 0.0
+        assert Graph(vertices=[1]).density() == 0.0
+
+    def test_edges_iterates_once_per_edge(self, triangle_graph):
+        edges = list(triangle_graph.edges())
+        assert len(edges) == 3
+        assert len(set(edges)) == 3
+
+    def test_contains_len_iter(self, triangle_graph):
+        assert 0 in triangle_graph
+        assert 5 not in triangle_graph
+        assert len(triangle_graph) == 3
+        assert sorted(triangle_graph) == [0, 1, 2]
+
+    def test_repr(self, triangle_graph):
+        assert "3" in repr(triangle_graph)
+
+    def test_equality(self):
+        assert Graph([(0, 1)]) == Graph([(1, 0)])
+        assert Graph([(0, 1)]) != Graph([(0, 2)])
+
+    def test_canonical_edge(self):
+        assert canonical_edge(2, 1) == (1, 2)
+        assert canonical_edge("b", "a") == ("a", "b")
+
+
+class TestDerivedStructures:
+    def test_copy_is_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.remove_edge(0, 1)
+        assert triangle_graph.has_edge(0, 1)
+
+    def test_subgraph(self):
+        g = Graph([(0, 1), (1, 2), (2, 3), (0, 2)])
+        sub = g.subgraph([0, 1, 2])
+        assert sub.number_of_vertices() == 3
+        assert sub.number_of_edges() == 3
+        assert not sub.has_vertex(3)
+
+    def test_subgraph_ignores_unknown_vertices(self):
+        g = Graph([(0, 1)])
+        sub = g.subgraph([0, 1, 99])
+        assert sub.number_of_vertices() == 2
+
+    def test_edge_subgraph(self):
+        g = Graph([(0, 1), (1, 2), (2, 3)])
+        sub = g.edge_subgraph([(0, 1), (5, 6)])
+        assert sub.number_of_edges() == 1
+
+    def test_connected_components_sizes(self):
+        g = Graph([(0, 1), (1, 2), (10, 11)])
+        comps = g.connected_components()
+        assert [len(c) for c in comps] == [3, 2]
+
+    def test_is_connected(self, triangle_graph):
+        assert triangle_graph.is_connected()
+        g = Graph([(0, 1), (2, 3)])
+        assert not g.is_connected()
+
+    def test_bfs_ball_radius_zero(self):
+        g = Graph([(0, 1), (1, 2)])
+        assert g.bfs_ball([0], 0) == {0}
+
+    def test_bfs_ball_expands(self):
+        g = Graph([(0, 1), (1, 2), (2, 3)])
+        assert g.bfs_ball([0], 2) == {0, 1, 2}
+        assert g.bfs_ball([0], 10) == {0, 1, 2, 3}
+
+    def test_bfs_ball_negative_radius(self):
+        with pytest.raises(ValueError):
+            Graph([(0, 1)]).bfs_ball([0], -1)
+
+    def test_relabeled(self):
+        g = Graph([("x", "y"), ("y", "z")])
+        relabeled, mapping = g.relabeled()
+        assert sorted(relabeled.vertices()) == [0, 1, 2]
+        assert relabeled.number_of_edges() == 2
+        assert set(mapping) == {"x", "y", "z"}
+
+
+class TestInterop:
+    def test_networkx_roundtrip(self, small_powerlaw_graph):
+        nxg = small_powerlaw_graph.to_networkx()
+        back = Graph.from_networkx(nxg)
+        assert back == small_powerlaw_graph
+
+    def test_from_edge_list_skips_self_loops(self):
+        g = Graph.from_edge_list([(0, 1), (2, 2), (1, 3)])
+        assert g.number_of_edges() == 2
+        assert not g.has_vertex(2) or g.degree(2) == 0

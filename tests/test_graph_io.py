@@ -1,0 +1,76 @@
+"""Tests for edge-list and JSON graph I/O."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    read_edge_list,
+    read_json_graph,
+    write_edge_list,
+    write_json_graph,
+)
+
+
+def test_edge_list_roundtrip(tmp_path, small_powerlaw_graph):
+    path = tmp_path / "graph.txt"
+    write_edge_list(small_powerlaw_graph, path)
+    loaded = read_edge_list(path)
+    assert loaded == small_powerlaw_graph
+
+
+def test_edge_list_skips_comments_and_blanks(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# a comment\n\n0 1\n1 2\n# trailing\n")
+    g = read_edge_list(path)
+    assert g.number_of_edges() == 2
+
+
+def test_edge_list_skips_self_loops(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 0\n0 1\n")
+    g = read_edge_list(path)
+    assert g.number_of_edges() == 1
+
+
+def test_edge_list_string_vertices(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("alice bob\nbob carol\n")
+    g = read_edge_list(path)
+    assert g.has_edge("alice", "bob")
+    assert g.has_edge("bob", "carol")
+
+
+def test_edge_list_malformed_line_raises(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("justonetoken\n")
+    with pytest.raises(ValueError):
+        read_edge_list(path)
+
+
+def test_edge_list_duplicate_edges_collapse(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n1 0\n0 1\n")
+    assert read_edge_list(path).number_of_edges() == 1
+
+
+def test_json_roundtrip(tmp_path, two_clique_bridge_graph):
+    path = tmp_path / "graph.json"
+    write_json_graph(two_clique_bridge_graph, path)
+    loaded = read_json_graph(path)
+    assert loaded == two_clique_bridge_graph
+
+
+def test_json_preserves_isolated_vertices(tmp_path):
+    g = Graph(edges=[(0, 1)], vertices=[7])
+    path = tmp_path / "graph.json"
+    write_json_graph(g, path)
+    loaded = read_json_graph(path)
+    assert loaded.has_vertex(7)
+    assert loaded.degree(7) == 0
+
+
+def test_json_missing_edges_key_raises(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"vertices": [1, 2]}')
+    with pytest.raises(ValueError):
+        read_json_graph(path)

@@ -1,0 +1,74 @@
+"""Tests for the H operator (Definition 5) and its helpers."""
+
+import pytest
+
+from repro.core.hindex import h_index, h_index_sorted, sustains_h
+
+
+class TestHIndex:
+    @pytest.mark.parametrize(
+        "values,expected",
+        [
+            ([], 0),
+            ([0], 0),
+            ([1], 1),
+            ([5], 1),
+            ([2, 3], 2),
+            ([1, 2], 1),
+            ([2, 2, 2], 2),
+            ([4, 3, 3, 2], 3),       # the paper's k-truss example for edge ab
+            ([2, 3], 2),             # the paper's vertex-a example, τ1(a)=2
+            ([1, 2], 1),             # the paper's vertex-a example, τ2(a)=1
+            ([10, 10, 10, 10], 4),
+            ([0, 0, 0], 0),
+            ([1, 1, 1, 1, 1], 1),
+            ([5, 4, 3, 2, 1], 3),
+        ],
+    )
+    def test_known_values(self, values, expected):
+        assert h_index(values) == expected
+
+    def test_matches_sorted_reference(self):
+        import random
+
+        rng = random.Random(1)
+        for _ in range(200):
+            values = [rng.randint(0, 20) for _ in range(rng.randint(0, 30))]
+            assert h_index(values) == h_index_sorted(values)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            h_index([1, -1])
+
+    def test_order_independent(self):
+        assert h_index([3, 1, 4, 1, 5]) == h_index([5, 4, 3, 1, 1])
+
+    def test_upper_bounds(self):
+        values = [7, 9, 3, 3, 2]
+        h = h_index(values)
+        assert h <= len(values)
+        assert h <= max(values)
+
+
+class TestSustainsH:
+    def test_zero_always_sustained(self):
+        assert sustains_h([], 0)
+        assert sustains_h([0, 0], 0)
+
+    def test_sustained(self):
+        assert sustains_h([3, 3, 3], 3)
+        assert sustains_h([5, 5, 1], 2)
+
+    def test_not_sustained(self):
+        assert not sustains_h([1, 1, 1], 2)
+        assert not sustains_h([], 1)
+
+    def test_consistency_with_h_index(self):
+        import random
+
+        rng = random.Random(2)
+        for _ in range(200):
+            values = [rng.randint(0, 15) for _ in range(rng.randint(0, 25))]
+            h = h_index(values)
+            assert sustains_h(values, h)
+            assert not sustains_h(values, h + 1)

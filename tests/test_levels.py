@@ -1,0 +1,108 @@
+"""Tests for degree levels and the convergence upper bound (Section 3.1)."""
+
+import pytest
+
+from repro.core.asynd import and_decomposition
+from repro.core.levels import (
+    convergence_upper_bound,
+    degree_levels,
+    level_of_each_clique,
+)
+from repro.core.peeling import peeling_decomposition
+from repro.core.snd import snd_decomposition
+from repro.core.space import NucleusSpace
+from repro.graph.generators import complete_graph
+from repro.graph.graph import Graph
+
+
+def star_graph(leaves: int) -> Graph:
+    return Graph([(0, i) for i in range(1, leaves + 1)])
+
+
+class TestDegreeLevels:
+    def test_partition_property(self, small_powerlaw_graph):
+        space = NucleusSpace(small_powerlaw_graph, 1, 2)
+        levels = degree_levels(space)
+        flattened = [i for level in levels for i in level]
+        assert sorted(flattened) == list(range(len(space)))
+
+    def test_complete_graph_single_level(self):
+        levels = degree_levels(complete_graph(5), 1, 2)
+        assert len(levels) == 1
+        assert len(levels[0]) == 5
+
+    def test_star_graph_two_levels(self):
+        # leaves all have degree 1 (level 0); after removing them the centre is level 1
+        levels = degree_levels(star_graph(4), 1, 2)
+        assert len(levels) == 2
+        assert len(levels[0]) == 4
+        assert len(levels[1]) == 1
+
+    def test_path_graph_levels(self):
+        # path 0-1-2-3: endpoints are level 0, removing them leaves 1-2 at level 1
+        levels = degree_levels(Graph([(0, 1), (1, 2), (2, 3)]), 1, 2)
+        assert len(levels) == 2
+
+    def test_empty_graph(self):
+        assert degree_levels(Graph(), 1, 2) == []
+
+    def test_level_assignment_consistent(self, small_powerlaw_graph):
+        space = NucleusSpace(small_powerlaw_graph, 1, 2)
+        levels = degree_levels(space)
+        assignment = level_of_each_clique(space)
+        for level_index, members in enumerate(levels):
+            for i in members:
+                assert assignment[i] == level_index
+
+
+class TestKappaMonotoneAcrossLevels:
+    """Theorem 2: κ indices never decrease as the level index increases."""
+
+    @pytest.mark.parametrize("r,s", [(1, 2), (2, 3)])
+    def test_kappa_non_decreasing_in_level(self, small_powerlaw_graph, r, s):
+        """Theorem 2: for i <= j, every member of L_i has kappa <= every member
+        of L_j, i.e. max(kappa over L_i) <= min(kappa over L_j)."""
+        space = NucleusSpace(small_powerlaw_graph, r, s)
+        kappa = peeling_decomposition(space).kappa
+        levels = degree_levels(space)
+        previous_max = None
+        for level in levels:
+            level_min = min(kappa[i] for i in level)
+            level_max = max(kappa[i] for i in level)
+            if previous_max is not None:
+                assert previous_max <= level_min
+            previous_max = level_max
+
+
+class TestConvergenceBound:
+    @pytest.mark.parametrize("r,s", [(1, 2), (2, 3), (3, 4)])
+    def test_bound_dominates_snd_iterations(self, small_powerlaw_graph, r, s):
+        """Theorem 3: values converge within `bound` iterations; SND may use
+        one extra pass to detect convergence."""
+        space = NucleusSpace(small_powerlaw_graph, r, s)
+        bound = convergence_upper_bound(space)
+        result = snd_decomposition(space)
+        assert result.iterations <= bound + 1
+
+    def test_bound_dominates_and_iterations(self, small_powerlaw_graph):
+        space = NucleusSpace(small_powerlaw_graph, 1, 2)
+        bound = convergence_upper_bound(space)
+        result = and_decomposition(space)
+        assert result.iterations <= bound + 1
+
+    def test_bound_much_tighter_than_trivial(self, medium_powerlaw_graph):
+        space = NucleusSpace(medium_powerlaw_graph, 1, 2)
+        bound = convergence_upper_bound(space)
+        assert bound < len(space)
+
+    def test_empty_graph_bound_zero(self):
+        assert convergence_upper_bound(Graph(), 1, 2) == 0
+
+    def test_values_converge_within_bound(self, small_powerlaw_graph):
+        """The stronger statement of Theorem 3: after `bound` iterations the
+        τ values equal κ (even if the algorithm has not yet *detected* it)."""
+        space = NucleusSpace(small_powerlaw_graph, 1, 2)
+        bound = convergence_upper_bound(space)
+        exact = peeling_decomposition(space).kappa
+        capped = snd_decomposition(space, max_iterations=bound)
+        assert capped.kappa == exact

@@ -1,0 +1,86 @@
+"""Tests for the accuracy metrics."""
+
+import pytest
+
+from repro.core.metrics import (
+    accuracy_report,
+    exact_match_fraction,
+    kendall_tau,
+    max_absolute_error,
+    mean_absolute_error,
+    mean_relative_error,
+)
+
+
+class TestKendallTau:
+    def test_identical_vectors(self):
+        assert kendall_tau([1, 2, 3, 4], [1, 2, 3, 4]) == pytest.approx(1.0)
+
+    def test_reversed_vectors(self):
+        assert kendall_tau([4, 3, 2, 1], [1, 2, 3, 4]) == pytest.approx(-1.0)
+
+    def test_same_ranking_different_scale(self):
+        assert kendall_tau([10, 20, 30], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert kendall_tau([], []) == 1.0
+
+    def test_constant_vectors(self):
+        assert kendall_tau([2, 2, 2], [2, 2, 2]) == 1.0
+        assert kendall_tau([2, 2, 2], [3, 3, 3]) == 0.0
+        assert kendall_tau([2, 2, 2], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1], [1, 2])
+
+    def test_partial_agreement_between_extremes(self):
+        value = kendall_tau([1, 3, 2, 4], [1, 2, 3, 4])
+        assert -1.0 < value < 1.0
+
+
+class TestExactMatch:
+    def test_all_match(self):
+        assert exact_match_fraction([1, 2], [1, 2]) == 1.0
+
+    def test_half_match(self):
+        assert exact_match_fraction([1, 0], [1, 2]) == 0.5
+
+    def test_empty(self):
+        assert exact_match_fraction([], []) == 1.0
+
+
+class TestErrors:
+    def test_mean_absolute_error(self):
+        assert mean_absolute_error([1, 4], [2, 2]) == pytest.approx(1.5)
+
+    def test_max_absolute_error(self):
+        assert max_absolute_error([1, 4], [2, 2]) == 2
+        assert max_absolute_error([], []) == 0
+
+    def test_mean_relative_error_clamps_denominator(self):
+        # exact value 0 -> denominator clamped to 1
+        assert mean_relative_error([2], [0]) == pytest.approx(2.0)
+        assert mean_relative_error([4], [2]) == pytest.approx(1.0)
+
+    def test_zero_error_for_exact(self):
+        assert mean_absolute_error([3, 3], [3, 3]) == 0.0
+        assert mean_relative_error([3, 3], [3, 3]) == 0.0
+
+
+class TestAccuracyReport:
+    def test_keys_present(self):
+        report = accuracy_report([1, 2, 3], [1, 2, 2])
+        assert set(report) == {
+            "kendall_tau",
+            "exact_fraction",
+            "mean_absolute_error",
+            "max_absolute_error",
+            "mean_relative_error",
+        }
+
+    def test_perfect_report(self):
+        report = accuracy_report([5, 1, 2], [5, 1, 2])
+        assert report["kendall_tau"] == pytest.approx(1.0)
+        assert report["exact_fraction"] == 1.0
+        assert report["mean_absolute_error"] == 0.0

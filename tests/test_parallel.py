@@ -1,0 +1,110 @@
+"""Tests for the parallel substrate (simulated scheduler + thread pool)."""
+
+import pytest
+
+from repro.core.peeling import peeling_decomposition
+from repro.core.space import NucleusSpace
+from repro.parallel.runner import (
+    parallel_snd_decomposition,
+    simulate_local_scalability,
+    simulate_peeling_scalability,
+)
+from repro.parallel.scheduler import ScheduleReport, SimulatedScheduler, ThreadPoolBackend
+
+
+class TestSimulatedScheduler:
+    def test_single_thread_makespan_is_total(self):
+        report = SimulatedScheduler(1).schedule([3, 1, 4, 1, 5])
+        assert report.makespan == report.total_work == 14
+        assert report.speedup == pytest.approx(1.0)
+
+    def test_dynamic_balances_uniform_work(self):
+        report = SimulatedScheduler(4, policy="dynamic", chunk_size=1).schedule([1] * 100)
+        assert report.makespan == 25
+        assert report.speedup == pytest.approx(4.0)
+
+    def test_static_suffers_from_skew(self):
+        # all the heavy tasks sit in the first chunk -> static is imbalanced
+        costs = [100] * 10 + [1] * 30
+        static = SimulatedScheduler(4, policy="static").schedule(costs)
+        dynamic = SimulatedScheduler(4, policy="dynamic", chunk_size=1).schedule(costs)
+        assert dynamic.makespan <= static.makespan
+        assert dynamic.speedup >= static.speedup
+
+    def test_efficiency_and_imbalance(self):
+        report = SimulatedScheduler(2, policy="static").schedule([4, 4])
+        assert report.efficiency == pytest.approx(1.0)
+        assert report.imbalance == pytest.approx(1.0)
+
+    def test_empty_workload(self):
+        report = SimulatedScheduler(3).schedule([])
+        assert report.makespan == 0
+        assert report.total_work == 0
+
+    def test_more_threads_never_hurt_dynamic(self):
+        costs = list(range(1, 50))
+        previous = None
+        for p in (1, 2, 4, 8):
+            makespan = SimulatedScheduler(p, policy="dynamic", chunk_size=1).schedule(costs).makespan
+            if previous is not None:
+                assert makespan <= previous
+            previous = makespan
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            SimulatedScheduler(0)
+        with pytest.raises(ValueError):
+            SimulatedScheduler(2, policy="weird")
+        with pytest.raises(ValueError):
+            SimulatedScheduler(2, chunk_size=0)
+
+
+class TestThreadPoolBackend:
+    def test_map_preserves_order(self):
+        backend = ThreadPoolBackend(4)
+        assert backend.map(lambda x: x * x, [1, 2, 3, 4]) == [1, 4, 9, 16]
+
+    def test_empty_items(self):
+        assert ThreadPoolBackend(2).map(lambda x: x, []) == []
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            ThreadPoolBackend(0)
+
+
+class TestParallelSnd:
+    @pytest.mark.parametrize("r,s", [(1, 2), (2, 3)])
+    def test_matches_sequential(self, small_powerlaw_graph, r, s):
+        space = NucleusSpace(small_powerlaw_graph, r, s)
+        exact = peeling_decomposition(space).kappa
+        result = parallel_snd_decomposition(space, num_threads=4)
+        assert result.kappa == exact
+        assert result.converged
+
+    def test_max_iterations(self, small_powerlaw_graph):
+        space = NucleusSpace(small_powerlaw_graph, 1, 2)
+        result = parallel_snd_decomposition(space, num_threads=2, max_iterations=1)
+        assert result.iterations == 1
+
+
+class TestScalabilitySimulation:
+    def test_local_speedup_grows_with_threads(self, small_powerlaw_graph):
+        space = NucleusSpace(small_powerlaw_graph, 1, 2)
+        reports = simulate_local_scalability(space, [1, 4, 8], policy="dynamic", chunk_size=1)
+        assert reports[1].speedup == pytest.approx(1.0)
+        assert reports[8].speedup >= reports[4].speedup >= reports[1].speedup
+
+    def test_peeling_speedup_saturates_below_local(self, medium_powerlaw_graph):
+        space = NucleusSpace(medium_powerlaw_graph, 1, 2)
+        kappa = peeling_decomposition(space).kappa
+        local = simulate_local_scalability(space, [24], policy="dynamic", chunk_size=1)
+        peel = simulate_peeling_scalability(space, [24], kappa=kappa)
+        assert local[24].speedup > peel[24].speedup
+
+    def test_peeling_reports_have_expected_fields(self, small_powerlaw_graph):
+        space = NucleusSpace(small_powerlaw_graph, 1, 2)
+        reports = simulate_peeling_scalability(space, [2, 4])
+        for p, report in reports.items():
+            assert isinstance(report, ScheduleReport)
+            assert report.num_threads == p
+            assert report.total_work > 0

@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These exercise the theorems of the paper on random graphs:
+
+* the H operator's defining property and monotonicity,
+* SND/AND always reach the peeling fixed point (Theorems 1–3),
+* τ is monotonically non-increasing and lower-bounded by κ,
+* the degree-level bound dominates the iteration count,
+* κ never exceeds the S-degree and the max κ equals the graph degeneracy
+  for the (1, 2) instance.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.asynd import and_decomposition
+from repro.core.hindex import h_index, h_index_sorted, sustains_h
+from repro.core.levels import convergence_upper_bound
+from repro.core.peeling import peeling_decomposition
+from repro.core.snd import snd_decomposition, snd_iterations
+from repro.core.space import NucleusSpace
+from repro.graph.graph import Graph
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_graphs(draw, max_vertices: int = 14, edge_probability: float = 0.35):
+    """Random simple graphs with up to ``max_vertices`` vertices."""
+    n = draw(st.integers(min_value=0, max_value=max_vertices))
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans() if edge_probability == 0.5 else
+                    st.floats(0, 1).map(lambda x: x < edge_probability)):
+                edges.append((u, v))
+    return Graph(edges=edges, vertices=range(n))
+
+
+value_lists = st.lists(st.integers(min_value=0, max_value=50), max_size=40)
+
+
+class TestHIndexProperties:
+    @given(value_lists)
+    @SETTINGS
+    def test_matches_reference(self, values):
+        assert h_index(values) == h_index_sorted(values)
+
+    @given(value_lists)
+    @SETTINGS
+    def test_defining_property(self, values):
+        h = h_index(values)
+        assert sum(1 for v in values if v >= h) >= h
+        assert sum(1 for v in values if v >= h + 1) < h + 1
+
+    @given(value_lists, st.integers(min_value=0, max_value=60))
+    @SETTINGS
+    def test_sustains_iff_at_most_h(self, values, threshold):
+        assert sustains_h(values, threshold) == (threshold <= h_index(values))
+
+    @given(value_lists, value_lists)
+    @SETTINGS
+    def test_monotone_in_values(self, values, deltas):
+        """Decreasing any value can never increase the h-index."""
+        if not values:
+            return
+        decreased = [max(0, v - d) for v, d in zip(values, deltas + [0] * len(values))]
+        assert h_index(decreased) <= h_index(values)
+
+
+class TestDecompositionProperties:
+    @given(small_graphs())
+    @SETTINGS
+    def test_snd_equals_peeling_core(self, graph):
+        space = NucleusSpace(graph, 1, 2)
+        assert snd_decomposition(space).kappa == peeling_decomposition(space).kappa
+
+    @given(small_graphs())
+    @SETTINGS
+    def test_and_equals_peeling_truss(self, graph):
+        space = NucleusSpace(graph, 2, 3)
+        assert and_decomposition(space).kappa == peeling_decomposition(space).kappa
+
+    @given(small_graphs(max_vertices=10))
+    @SETTINGS
+    def test_snd_equals_peeling_three_four(self, graph):
+        space = NucleusSpace(graph, 3, 4)
+        assert snd_decomposition(space).kappa == peeling_decomposition(space).kappa
+
+    @given(small_graphs())
+    @SETTINGS
+    def test_kappa_bounded_by_s_degree(self, graph):
+        space = NucleusSpace(graph, 1, 2)
+        kappa = peeling_decomposition(space).kappa
+        degrees = space.s_degrees()
+        assert all(k <= d for k, d in zip(kappa, degrees))
+
+    @given(small_graphs())
+    @SETTINGS
+    def test_tau_monotone_and_lower_bounded(self, graph):
+        space = NucleusSpace(graph, 1, 2)
+        exact = peeling_decomposition(space).kappa
+        history = snd_iterations(space, max_iterations=40)
+        for prev, curr in zip(history, history[1:]):
+            assert all(c <= p for p, c in zip(prev, curr))
+        for tau in history:
+            assert all(t >= k for t, k in zip(tau, exact))
+
+    @given(small_graphs())
+    @SETTINGS
+    def test_level_bound_dominates_iterations(self, graph):
+        space = NucleusSpace(graph, 1, 2)
+        bound = convergence_upper_bound(space)
+        assert snd_decomposition(space).iterations <= bound + 1
+
+    @given(small_graphs())
+    @SETTINGS
+    def test_core_max_kappa_is_degeneracy(self, graph):
+        """max core number == degeneracy == max over the smallest-last order."""
+        import networkx as nx
+
+        space = NucleusSpace(graph, 1, 2)
+        kappa = peeling_decomposition(space).kappa
+        if not kappa:
+            return
+        nx_core = nx.core_number(graph.to_networkx())
+        assert max(kappa) == (max(nx_core.values()) if nx_core else 0)
+
+    @given(small_graphs())
+    @SETTINGS
+    def test_and_order_invariance(self, graph):
+        space = NucleusSpace(graph, 1, 2)
+        natural = and_decomposition(space, order="natural").kappa
+        shuffled = and_decomposition(space, order="random", seed=0).kappa
+        assert natural == shuffled

@@ -1,0 +1,96 @@
+"""Tests for query-driven local estimation."""
+
+import pytest
+
+from repro.core.peeling import peeling_decomposition
+from repro.core.query import estimate_local_indices, query_accuracy
+from repro.core.space import NucleusSpace
+from repro.graph.generators import complete_graph, powerlaw_cluster_graph
+from repro.graph.graph import Graph
+
+
+class TestBasics:
+    def test_single_vertex_query_full_radius_is_exact(self, small_powerlaw_graph):
+        exact = peeling_decomposition(small_powerlaw_graph, 1, 2).as_dict()
+        diameter_ish = small_powerlaw_graph.number_of_vertices()
+        queries = [(v,) for v in list(small_powerlaw_graph.vertices())[:5]]
+        estimates = estimate_local_indices(
+            small_powerlaw_graph, queries, 1, 2, hops=diameter_ish
+        )
+        for q in queries:
+            assert estimates[q] == exact[q]
+
+    def test_estimates_monotone_unreliable_but_bounded_by_degree(self, small_powerlaw_graph):
+        queries = [(v,) for v in list(small_powerlaw_graph.vertices())[:5]]
+        estimates = estimate_local_indices(small_powerlaw_graph, queries, 1, 2, hops=1)
+        for (v,), value in estimates.items():
+            assert 0 <= value <= small_powerlaw_graph.degree(v)
+
+    def test_metadata_attached(self, small_powerlaw_graph):
+        estimates = estimate_local_indices(
+            small_powerlaw_graph, [(0,)], 1, 2, hops=1
+        )
+        assert estimates.ball_size >= 1
+        assert estimates.subgraph_edges >= 0
+        assert estimates.iterations >= 0
+
+    def test_hops_zero_vertex_query(self, triangle_graph):
+        estimates = estimate_local_indices(triangle_graph, [(0,)], 1, 2, hops=0)
+        # only the query vertex is in the ball, so it sees no edges at all
+        assert estimates[(0,)] == 0
+
+    def test_larger_radius_never_lowers_accuracy_on_clique(self):
+        g = complete_graph(8)
+        exact = peeling_decomposition(g, 1, 2).as_dict()
+        for hops in (1, 2, 3):
+            estimates = estimate_local_indices(g, [(0,)], 1, 2, hops=hops)
+            assert estimates[(0,)] == exact[(0,)]
+
+
+class TestEdgeQueries:
+    def test_truss_queries(self, small_powerlaw_graph):
+        exact = peeling_decomposition(small_powerlaw_graph, 2, 3).as_dict()
+        queries = list(exact)[:5]
+        estimates = estimate_local_indices(
+            small_powerlaw_graph, queries, 2, 3, hops=small_powerlaw_graph.number_of_vertices()
+        )
+        for q in queries:
+            assert estimates[q] == exact[q]
+
+    def test_snd_backend(self, triangle_graph):
+        estimates = estimate_local_indices(
+            triangle_graph, [(0, 1)], 2, 3, hops=2, algorithm="snd"
+        )
+        assert estimates[(0, 1)] == 1
+
+
+class TestValidation:
+    def test_wrong_query_size(self, triangle_graph):
+        with pytest.raises(ValueError):
+            estimate_local_indices(triangle_graph, [(0, 1)], 1, 2)
+
+    def test_query_not_a_clique(self):
+        g = Graph([(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            estimate_local_indices(g, [(0, 2)], 2, 3)
+
+    def test_unknown_vertex(self, triangle_graph):
+        with pytest.raises(ValueError):
+            estimate_local_indices(triangle_graph, [(99,)], 1, 2)
+
+    def test_unknown_algorithm(self, triangle_graph):
+        with pytest.raises(ValueError):
+            estimate_local_indices(triangle_graph, [(0,)], 1, 2, algorithm="bogus")
+
+
+class TestQueryAccuracy:
+    def test_perfect(self):
+        assert query_accuracy({("a",): 2}, {("a",): 2}) == (1.0, 0.0)
+
+    def test_empty(self):
+        assert query_accuracy({}, {}) == (1.0, 0.0)
+
+    def test_mixed(self):
+        frac, err = query_accuracy({("a",): 2, ("b",): 5}, {("a",): 2, ("b",): 3})
+        assert frac == 0.5
+        assert err == 1.0

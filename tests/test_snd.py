@@ -1,0 +1,124 @@
+"""Tests for the synchronous local algorithm (SND, Algorithm 2)."""
+
+import pytest
+
+from repro.core.peeling import peeling_decomposition
+from repro.core.snd import snd_decomposition, snd_iterations
+from repro.core.space import NucleusSpace
+from repro.graph.generators import complete_graph, powerlaw_cluster_graph
+from repro.graph.graph import Graph
+
+
+class TestExactness:
+    @pytest.mark.parametrize("r,s", [(1, 2), (2, 3), (3, 4)])
+    def test_matches_peeling_on_random_graph(self, small_powerlaw_graph, r, s):
+        space = NucleusSpace(small_powerlaw_graph, r, s)
+        exact = peeling_decomposition(space)
+        local = snd_decomposition(space)
+        assert local.kappa == exact.kappa
+        assert local.converged
+
+    def test_paper_core_example(self, paper_core_graph, paper_core_numbers):
+        result = snd_decomposition(paper_core_graph, 1, 2)
+        assert {c[0]: k for c, k in zip(result.cliques, result.kappa)} == paper_core_numbers
+
+    def test_paper_core_example_iteration_trace(self, paper_core_graph):
+        """The paper walks through SND on this graph: τ1(a)=2 and τ2(a)=1."""
+        space = NucleusSpace(paper_core_graph, 1, 2)
+        history = snd_iterations(space, max_iterations=10)
+        a = space.index_of(("a",))
+        assert history[0][a] == 2      # τ0 = degree
+        assert history[1][a] == 2      # τ1(a) = H({2, 3}) = 2
+        assert history[2][a] == 1      # τ2(a) = H({1, 2}) = 1
+
+    def test_complete_graph_converges_immediately(self):
+        result = snd_decomposition(complete_graph(5), 1, 2)
+        assert set(result.kappa) == {4}
+        # degrees already equal core numbers, so only the detection pass runs
+        assert result.iterations == 1
+
+    def test_empty_graph(self):
+        result = snd_decomposition(Graph(), 1, 2)
+        assert result.kappa == []
+        assert result.converged
+        assert result.iterations == 0
+
+
+class TestMonotonicityAndBounds:
+    def test_tau_never_increases(self, small_powerlaw_graph):
+        space = NucleusSpace(small_powerlaw_graph, 2, 3)
+        history = snd_iterations(space, max_iterations=50)
+        for prev, curr in zip(history, history[1:]):
+            assert all(c <= p for p, c in zip(prev, curr))
+
+    def test_tau_lower_bounded_by_kappa(self, small_powerlaw_graph):
+        space = NucleusSpace(small_powerlaw_graph, 2, 3)
+        exact = peeling_decomposition(space).kappa
+        history = snd_iterations(space, max_iterations=50)
+        for tau in history:
+            assert all(t >= k for t, k in zip(tau, exact))
+
+
+class TestEarlyTermination:
+    def test_max_iterations_caps_run(self, medium_powerlaw_graph):
+        space = NucleusSpace(medium_powerlaw_graph, 1, 2)
+        full = snd_decomposition(space)
+        capped = snd_decomposition(space, max_iterations=1)
+        assert capped.iterations == 1
+        if full.iterations > 1:
+            assert not capped.converged
+
+    def test_zero_iterations_returns_degrees(self, small_powerlaw_graph):
+        space = NucleusSpace(small_powerlaw_graph, 1, 2)
+        result = snd_decomposition(space, max_iterations=0)
+        assert result.kappa == space.s_degrees()
+
+    def test_intermediate_result_is_closer_with_more_iterations(self, medium_powerlaw_graph):
+        from repro.core.metrics import mean_absolute_error
+
+        space = NucleusSpace(medium_powerlaw_graph, 1, 2)
+        exact = peeling_decomposition(space).kappa
+        err1 = mean_absolute_error(
+            snd_decomposition(space, max_iterations=1).kappa, exact
+        )
+        err4 = mean_absolute_error(
+            snd_decomposition(space, max_iterations=4).kappa, exact
+        )
+        assert err4 <= err1
+
+
+class TestBookkeeping:
+    def test_history_recorded_when_requested(self, small_powerlaw_graph):
+        space = NucleusSpace(small_powerlaw_graph, 1, 2)
+        result = snd_decomposition(space, record_history=True)
+        assert result.tau_history is not None
+        assert len(result.tau_history) == result.iterations + 1
+        assert result.tau_history[0] == space.s_degrees()
+        assert result.tau_history[-1] == result.kappa
+
+    def test_history_not_recorded_by_default(self, small_powerlaw_graph):
+        result = snd_decomposition(small_powerlaw_graph, 1, 2)
+        assert result.tau_history is None
+
+    def test_iteration_stats_and_callback(self, small_powerlaw_graph):
+        space = NucleusSpace(small_powerlaw_graph, 1, 2)
+        exact = peeling_decomposition(space).kappa
+        seen = []
+        result = snd_decomposition(
+            space,
+            reference_kappa=exact,
+            on_iteration=lambda i, tau: seen.append(i),
+        )
+        assert seen == [stat.iteration for stat in result.iteration_stats]
+        # last iteration makes no updates and everything matches the exact answer
+        assert result.iteration_stats[-1].updated == 0
+        assert result.iteration_stats[-1].converged_count == len(space)
+
+    def test_operations_counted(self, small_powerlaw_graph):
+        result = snd_decomposition(small_powerlaw_graph, 1, 2)
+        assert result.operations["rho_evaluations"] > 0
+        assert result.operations["h_index_calls"] > 0
+
+    def test_graph_without_rs_raises(self, triangle_graph):
+        with pytest.raises(ValueError):
+            snd_decomposition(triangle_graph)

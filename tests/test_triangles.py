@@ -1,0 +1,103 @@
+"""Tests for triangle enumeration, degeneracy ordering and clustering."""
+
+import networkx as nx
+import pytest
+
+from repro.graph.generators import complete_graph, powerlaw_cluster_graph
+from repro.graph.graph import Graph, canonical_edge
+from repro.graph.triangles import (
+    count_triangles,
+    degeneracy_ordering,
+    edge_triangle_counts,
+    enumerate_triangles,
+    local_clustering_coefficient,
+    vertex_triangle_counts,
+)
+
+
+class TestDegeneracyOrdering:
+    def test_covers_all_vertices_once(self, small_powerlaw_graph):
+        order = degeneracy_ordering(small_powerlaw_graph)
+        assert sorted(order, key=repr) == sorted(small_powerlaw_graph.vertices(), key=repr)
+
+    def test_empty_graph(self):
+        assert degeneracy_ordering(Graph()) == []
+
+    def test_degeneracy_matches_networkx_core_number(self, small_powerlaw_graph):
+        """The max core number equals the graph degeneracy; the smallest-last
+        ordering must realise it: every vertex has at most `degeneracy` later
+        neighbours."""
+        order = degeneracy_ordering(small_powerlaw_graph)
+        rank = {v: i for i, v in enumerate(order)}
+        degeneracy = max(
+            sum(1 for nbr in small_powerlaw_graph.neighbors(v) if rank[nbr] > rank[v])
+            for v in order
+        )
+        expected = max(nx.core_number(small_powerlaw_graph.to_networkx()).values())
+        assert degeneracy == expected
+
+
+class TestTriangleEnumeration:
+    def test_single_triangle(self, triangle_graph):
+        triangles = list(enumerate_triangles(triangle_graph))
+        assert len(triangles) == 1
+        assert sorted(triangles[0]) == [0, 1, 2]
+
+    def test_no_triangles_in_a_path(self):
+        g = Graph([(0, 1), (1, 2), (2, 3)])
+        assert count_triangles(g) == 0
+
+    def test_complete_graph_count(self):
+        # K6 has C(6,3) = 20 triangles
+        assert count_triangles(complete_graph(6)) == 20
+
+    def test_matches_networkx(self, medium_powerlaw_graph):
+        expected = sum(nx.triangles(medium_powerlaw_graph.to_networkx()).values()) // 3
+        assert count_triangles(medium_powerlaw_graph) == expected
+
+    def test_each_triangle_reported_once(self, small_powerlaw_graph):
+        seen = set()
+        for tri in enumerate_triangles(small_powerlaw_graph):
+            key = tuple(sorted(tri))
+            assert key not in seen
+            seen.add(key)
+
+
+class TestEdgeTriangleCounts:
+    def test_triangle_graph(self, triangle_graph):
+        counts = edge_triangle_counts(triangle_graph)
+        assert set(counts.values()) == {1}
+        assert len(counts) == 3
+
+    def test_every_edge_present_even_with_zero(self):
+        g = Graph([(0, 1), (1, 2), (0, 2), (2, 3)])
+        counts = edge_triangle_counts(g)
+        assert counts[canonical_edge(2, 3)] == 0
+        assert counts[canonical_edge(0, 1)] == 1
+
+    def test_sum_is_three_times_triangle_count(self, small_powerlaw_graph):
+        counts = edge_triangle_counts(small_powerlaw_graph)
+        assert sum(counts.values()) == 3 * count_triangles(small_powerlaw_graph)
+
+
+class TestVertexTriangleCounts:
+    def test_matches_networkx(self, small_powerlaw_graph):
+        expected = nx.triangles(small_powerlaw_graph.to_networkx())
+        assert vertex_triangle_counts(small_powerlaw_graph) == expected
+
+
+class TestClusteringCoefficient:
+    def test_triangle_vertex(self, triangle_graph):
+        assert local_clustering_coefficient(triangle_graph, 0) == pytest.approx(1.0)
+
+    def test_low_degree_vertex(self):
+        g = Graph([(0, 1)])
+        assert local_clustering_coefficient(g, 0) == 0.0
+
+    def test_matches_networkx(self, small_powerlaw_graph):
+        nxg = small_powerlaw_graph.to_networkx()
+        expected = nx.clustering(nxg)
+        for v in list(small_powerlaw_graph.vertices())[:20]:
+            assert local_clustering_coefficient(small_powerlaw_graph, v) == pytest.approx(
+                expected[v]
+            )
