@@ -18,6 +18,7 @@ True
 
 from repro import core, datasets, graph, parallel
 from repro.core import (
+    CSRSpace,
     DecompositionResult,
     NucleusSpace,
     and_decomposition,
@@ -37,6 +38,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Graph",
     "NucleusSpace",
+    "CSRSpace",
     "DecompositionResult",
     "nucleus_decomposition",
     "core_decomposition",

@@ -93,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
     dec.add_argument(
         "--algorithm", choices=["peeling", "snd", "and"], default="and"
     )
+    dec.add_argument(
+        "--backend",
+        choices=["auto", "dict", "csr"],
+        default="auto",
+        help="space representation the kernels run on: the tuple/set "
+        "NucleusSpace ('dict'), flat CSR int arrays ('csr'), or size-based "
+        "selection ('auto', the default); kappa is identical either way",
+    )
     dec.add_argument("--hierarchy", action="store_true", help="print the nucleus hierarchy")
 
     return parser
@@ -138,7 +146,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _run_decompose(args: argparse.Namespace) -> None:
     graph = load_dataset(args.dataset)
     space = NucleusSpace(graph, args.r, args.s)
-    result = nucleus_decomposition(space, algorithm=args.algorithm)
+    result = nucleus_decomposition(
+        space, algorithm=args.algorithm, backend=args.backend
+    )
     print(result.summary())
     histogram_rows = [
         {"kappa": k, "r_cliques": count}

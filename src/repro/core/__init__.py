@@ -9,9 +9,18 @@ The public entry points most users need are re-exported here:
   instances evaluated in the paper.
 * :class:`repro.core.space.NucleusSpace` — the r-clique / s-clique view of a
   graph shared by every algorithm.
+* :class:`repro.core.csr.CSRSpace` — the same view flattened into CSR int
+  arrays; every decomposition accepts ``backend="auto"|"dict"|"csr"`` to pick
+  the representation its kernels run on.
 """
 
 from repro.core.space import NucleusSpace
+from repro.core.csr import (
+    BACKENDS,
+    CSRSpace,
+    and_decomposition_csr,
+    snd_decomposition_csr,
+)
 from repro.core.hindex import h_index, sustains_h
 from repro.core.result import DecompositionResult
 from repro.core.peeling import peeling_decomposition
@@ -40,6 +49,10 @@ from repro.core.metrics import (
 
 __all__ = [
     "NucleusSpace",
+    "CSRSpace",
+    "BACKENDS",
+    "and_decomposition_csr",
+    "snd_decomposition_csr",
     "h_index",
     "sustains_h",
     "DecompositionResult",

@@ -14,6 +14,12 @@ from __future__ import annotations
 import random
 from typing import Callable, List, Optional, Sequence, Union
 
+from repro.core.csr import (
+    CSRSpace,
+    and_decomposition_csr,
+    resolve_backend,
+    resolve_space,
+)
 from repro.core.hindex import h_index, sustains_h
 from repro.core.result import DecompositionResult, IterationStats
 from repro.core.space import NucleusSpace
@@ -23,9 +29,11 @@ __all__ = ["and_decomposition", "processing_order"]
 
 OrderSpec = Union[str, Sequence[int], None]
 
+SpaceLike = Union[NucleusSpace, CSRSpace]
+
 
 def processing_order(
-    space: NucleusSpace,
+    space: SpaceLike,
     order: OrderSpec,
     *,
     seed: Optional[int] = None,
@@ -81,7 +89,7 @@ def processing_order(
 
 
 def and_decomposition(
-    source: Union[Graph, NucleusSpace],
+    source: Union[Graph, NucleusSpace, CSRSpace],
     r: Optional[int] = None,
     s: Optional[int] = None,
     *,
@@ -93,6 +101,7 @@ def and_decomposition(
     record_history: bool = False,
     reference_kappa: Optional[List[int]] = None,
     on_iteration: Optional[Callable[[int, List[int]], None]] = None,
+    backend: str = "auto",
 ) -> DecompositionResult:
     """Run the asynchronous local algorithm until convergence.
 
@@ -107,8 +116,27 @@ def and_decomposition(
         measure the redundant-computation overhead (experiment E4).
     max_iterations, record_history, reference_kappa, on_iteration:
         Same semantics as in :func:`repro.core.snd.snd_decomposition`.
+    backend:
+        ``"dict"`` runs this module's kernel over the tuple/set structure of
+        :class:`NucleusSpace`; ``"csr"`` flattens the space and runs
+        :func:`repro.core.csr.and_decomposition_csr` over flat int arrays;
+        ``"auto"`` (default) picks CSR for large spaces.  κ is identical
+        either way (the test-suite asserts it); only speed and the
+        operation counters differ.
     """
-    space = _resolve_space(source, r, s)
+    space = resolve_space(source, r, s)
+    if resolve_backend(backend, space) == "csr":
+        return and_decomposition_csr(
+            space,
+            order=order,
+            seed=seed,
+            kappa_hint=kappa_hint,
+            notification=notification,
+            max_iterations=max_iterations,
+            record_history=record_history,
+            reference_kappa=reference_kappa,
+            on_iteration=on_iteration,
+        )
     n = len(space)
     tau = space.s_degrees()
     perm = processing_order(space, order, seed=seed, kappa_hint=kappa_hint)
@@ -136,7 +164,6 @@ def and_decomposition(
             processed += 1
             current = tau[i]
             rho_values = []
-            can_keep = True
             for others in space.contexts(i):
                 rho = min(tau[o] for o in others) if others else 0
                 rho_values.append(rho)
@@ -190,15 +217,6 @@ def and_decomposition(
             "rho_evaluations": rho_evaluations,
             "h_index_calls": h_calls,
             "skipped_cliques": skipped_total,
+            "backend": "dict",
         },
     )
-
-
-def _resolve_space(
-    source: Union[Graph, NucleusSpace], r: Optional[int], s: Optional[int]
-) -> NucleusSpace:
-    if isinstance(source, NucleusSpace):
-        return source
-    if r is None or s is None:
-        raise ValueError("r and s are required when passing a Graph")
-    return NucleusSpace(source, r, s)

@@ -1,0 +1,761 @@
+"""CSR (compressed sparse row) array backend for the nucleus space.
+
+:class:`repro.core.space.NucleusSpace` stores contexts as Python lists of
+tuples and neighbour sets of Python ints — convenient to build, expensive to
+iterate: every ρ evaluation in the τ loops pays attribute lookups, generator
+frames and pointer chasing.  :class:`CSRSpace` is the same structure flattened
+into five integer arrays:
+
+* ``ctx_offsets`` (length ``n + 1``) — clique ``i`` owns contexts
+  ``ctx_offsets[i] .. ctx_offsets[i+1]`` (offsets count *contexts*, i.e.
+  containing s-cliques);
+* ``ctx_members`` — the other r-cliques of every context, concatenated.
+  Each context has exactly ``C(s, r) - 1`` members (the *stride*), so context
+  ``c`` occupies ``ctx_members[c * stride : (c + 1) * stride]``;
+* ``nbr_offsets`` / ``nbr_members`` — the neighbour relation ``Ns(R)`` in the
+  usual CSR layout (members sorted ascending within each row).
+
+The S-degree of clique ``i`` is ``ctx_offsets[i+1] - ctx_offsets[i]``.
+
+A ``CSRSpace`` is cheap to pickle and can be shared across worker processes
+(flat ``array('q')`` buffers, no per-element Python objects), which is what
+the parallel runners need; and the kernels below —
+:func:`and_decomposition_csr` / :func:`snd_decomposition_csr` — run the τ
+iteration entirely over these preallocated arrays, optionally vectorising the
+SND Jacobi step with numpy when it is installed.  Both kernels produce κ
+values identical to the dict-backend implementations in
+:mod:`repro.core.asynd` and :mod:`repro.core.snd`, which the test-suite
+asserts property-style.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.hindex import h_index
+from repro.core.result import DecompositionResult, IterationStats
+from repro.core.space import NucleusSpace, _binomial
+from repro.graph.graph import Graph
+
+try:  # numpy is an optional extra; every code path has a pure-Python fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+__all__ = [
+    "CSRSpace",
+    "BACKENDS",
+    "AUTO_CSR_THRESHOLD",
+    "HAVE_NUMPY",
+    "resolve_backend",
+    "and_decomposition_csr",
+    "snd_decomposition_csr",
+]
+
+HAVE_NUMPY = _np is not None
+
+#: Valid values of the ``backend=`` parameter accepted by the decompositions.
+BACKENDS = ("auto", "dict", "csr")
+
+#: ``backend="auto"`` switches to the CSR kernels at this many r-cliques;
+#: below it the one-off flattening cost outweighs the per-iteration savings.
+AUTO_CSR_THRESHOLD = 256
+
+Clique = Tuple
+
+
+class CSRSpace:
+    """Flat-array view of an (r, s) clique space.
+
+    Build one with :meth:`from_space` (or ``NucleusSpace.to_csr()``); the
+    constructor takes prebuilt arrays and is mostly useful for tests and
+    deserialisation.  The read API mirrors :class:`NucleusSpace` (``__len__``,
+    ``s_degree``, ``s_degrees``, ``contexts``, ``neighbors``, ``as_dict``) so
+    ordering helpers and result construction work on either representation.
+    """
+
+    __slots__ = (
+        "r",
+        "s",
+        "stride",
+        "cliques",
+        "ctx_offsets",
+        "ctx_members",
+        "nbr_offsets",
+        "nbr_members",
+        "_inverse",
+    )
+
+    def __init__(
+        self,
+        r: int,
+        s: int,
+        cliques: Sequence[Clique],
+        ctx_offsets: Sequence[int],
+        ctx_members: Sequence[int],
+        nbr_offsets: Sequence[int],
+        nbr_members: Sequence[int],
+    ) -> None:
+        if r < 1 or s <= r:
+            raise ValueError(f"need 1 <= r < s, got r={r}, s={s}")
+        self.r = r
+        self.s = s
+        self.stride = _binomial(s, r) - 1
+        self.cliques = list(cliques)
+        self.ctx_offsets = array("q", ctx_offsets)
+        self.ctx_members = array("q", ctx_members)
+        self.nbr_offsets = array("q", nbr_offsets)
+        self.nbr_members = array("q", nbr_members)
+        self._inverse = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_space(cls, space: NucleusSpace) -> "CSRSpace":
+        """Flatten a :class:`NucleusSpace` into CSR arrays."""
+        n = len(space)
+        stride = _binomial(space.s, space.r) - 1
+        ctx_offsets = array("q", [0] * (n + 1))
+        ctx_members = array("q")
+        nbr_offsets = array("q", [0] * (n + 1))
+        nbr_members = array("q")
+        for i in range(n):
+            contexts = space.contexts(i)
+            for others in contexts:
+                if len(others) != stride:
+                    raise ValueError(
+                        f"context of clique {i} has {len(others)} members, "
+                        f"expected C({space.s},{space.r})-1 = {stride}"
+                    )
+                ctx_members.extend(others)
+            ctx_offsets[i + 1] = ctx_offsets[i] + len(contexts)
+            row = sorted(space.neighbors(i))
+            nbr_members.extend(row)
+            nbr_offsets[i + 1] = nbr_offsets[i] + len(row)
+        obj = cls.__new__(cls)
+        obj.r = space.r
+        obj.s = space.s
+        obj.stride = stride
+        obj.cliques = list(space.cliques)
+        obj.ctx_offsets = ctx_offsets
+        obj.ctx_members = ctx_members
+        obj.nbr_offsets = nbr_offsets
+        obj.nbr_members = nbr_members
+        obj._inverse = None
+        return obj
+
+    # ------------------------------------------------------------------
+    # read API (mirrors NucleusSpace)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.ctx_offsets) - 1
+
+    def clique_of(self, index: int) -> Clique:
+        return self.cliques[index]
+
+    def s_degree(self, index: int) -> int:
+        return self.ctx_offsets[index + 1] - self.ctx_offsets[index]
+
+    def s_degrees(self) -> List[int]:
+        off = self.ctx_offsets
+        return [off[i + 1] - off[i] for i in range(len(self))]
+
+    def contexts(self, index: int) -> List[Tuple[int, ...]]:
+        """Reconstruct the context tuples of one clique (test/compat path)."""
+        stride = self.stride
+        members = self.ctx_members
+        start = self.ctx_offsets[index]
+        end = self.ctx_offsets[index + 1]
+        return [
+            tuple(members[c * stride:(c + 1) * stride])
+            for c in range(start, end)
+        ]
+
+    def neighbors(self, index: int) -> Tuple[int, ...]:
+        """Neighbour indices of one clique, sorted ascending."""
+        return tuple(
+            self.nbr_members[self.nbr_offsets[index]:self.nbr_offsets[index + 1]]
+        )
+
+    def number_of_s_cliques(self) -> int:
+        per_s_clique = self.stride + 1
+        return len(self.ctx_members) // self.stride // per_s_clique if self.stride else 0
+
+    def as_dict(self, values: Sequence[int]) -> dict:
+        if len(values) != len(self.cliques):
+            raise ValueError("value array length does not match clique count")
+        return {self.cliques[i]: values[i] for i in range(len(values))}
+
+    def nbytes(self) -> int:
+        """Total size of the flat buffers, in bytes."""
+        return sum(
+            a.itemsize * len(a)
+            for a in (self.ctx_offsets, self.ctx_members, self.nbr_offsets, self.nbr_members)
+        )
+
+    def member_contexts(self) -> Tuple[array, array]:
+        """Reverse incidence: for each clique, the context ids it appears in.
+
+        Returns CSR arrays ``(offsets, context_ids)``: clique ``i`` is a
+        *member* (not the owner) of contexts
+        ``context_ids[offsets[i] : offsets[i + 1]]``, where a context id ``c``
+        addresses ``ctx_members[c * stride : (c + 1) * stride]`` and the ρ
+        slot ``c`` of the AND kernel.  Built on first use with a counting
+        sort and cached; the incremental-ρ maintenance of
+        :func:`and_decomposition_csr` walks it on every τ decrease.
+        """
+        if self._inverse is None:
+            n = len(self)
+            stride = self.stride
+            cm = self.ctx_members
+            counts = [0] * (n + 1)
+            for m in cm:
+                counts[m + 1] += 1
+            offsets = array("q", [0] * (n + 1))
+            for i in range(n):
+                offsets[i + 1] = offsets[i] + counts[i + 1]
+            cursor = list(offsets[:n])
+            ids = array("q", bytes(8 * len(cm)))
+            for c in range(len(cm) // stride if stride else 0):
+                base = c * stride
+                for j in range(base, base + stride):
+                    m = cm[j]
+                    ids[cursor[m]] = c
+                    cursor[m] += 1
+            self._inverse = (offsets, ids)
+        return self._inverse
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Structural consistency checks (used by tests and debug assertions)."""
+        n = len(self)
+        if len(self.cliques) != n:
+            raise AssertionError("clique list length disagrees with ctx_offsets")
+        if self.ctx_offsets[0] != 0 or self.nbr_offsets[0] != 0:
+            raise AssertionError("offset arrays must start at 0")
+        for off in (self.ctx_offsets, self.nbr_offsets):
+            for i in range(n):
+                if off[i + 1] < off[i]:
+                    raise AssertionError("offsets must be non-decreasing")
+        if self.ctx_offsets[n] * self.stride != len(self.ctx_members):
+            raise AssertionError("ctx_members length disagrees with offsets * stride")
+        if self.nbr_offsets[n] != len(self.nbr_members):
+            raise AssertionError("nbr_members length disagrees with offsets")
+        for m in self.ctx_members:
+            if not 0 <= m < n:
+                raise AssertionError(f"context member {m} out of range")
+        for m in self.nbr_members:
+            if not 0 <= m < n:
+                raise AssertionError(f"neighbour {m} out of range")
+        per_s_clique = self.stride + 1
+        if per_s_clique and self.ctx_offsets[n] % per_s_clique != 0:
+            raise AssertionError(
+                "total context count is not a multiple of C(s, r); "
+                "the space is inconsistent"
+            )
+        # neighbour relation must be symmetric
+        pairs = set()
+        for i in range(n):
+            for j in self.neighbors(i):
+                pairs.add((i, j))
+        for i, j in pairs:
+            if (j, i) not in pairs:
+                raise AssertionError(f"neighbour relation not symmetric: {i} -> {j}")
+
+    def __getstate__(self):
+        return {
+            "r": self.r,
+            "s": self.s,
+            "stride": self.stride,
+            "cliques": self.cliques,
+            "ctx_offsets": self.ctx_offsets,
+            "ctx_members": self.ctx_members,
+            "nbr_offsets": self.nbr_offsets,
+            "nbr_members": self.nbr_members,
+            "_inverse": None,  # lazy cache, rebuilt on demand after unpickling
+        }
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
+
+# ----------------------------------------------------------------------
+# backend selection
+# ----------------------------------------------------------------------
+def resolve_backend(
+    backend: str, space: Union[NucleusSpace, CSRSpace]
+) -> str:
+    """Resolve a ``backend=`` argument to ``"dict"`` or ``"csr"``.
+
+    ``"auto"`` picks the CSR kernels once the space has at least
+    :data:`AUTO_CSR_THRESHOLD` r-cliques (below that the flattening cost
+    dominates).  A prebuilt :class:`CSRSpace` always runs on the CSR kernels —
+    asking for the dict backend on one is an error because the tuple-keyed
+    structure it would need has been discarded.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if isinstance(space, CSRSpace):
+        if backend == "dict":
+            raise ValueError("cannot run the dict backend on a CSRSpace")
+        return "csr"
+    if backend == "auto":
+        return "csr" if len(space) >= AUTO_CSR_THRESHOLD else "dict"
+    return backend
+
+
+def resolve_space(
+    source: Union[Graph, NucleusSpace, CSRSpace],
+    r: Optional[int],
+    s: Optional[int],
+) -> Union[NucleusSpace, CSRSpace]:
+    """Shared source-resolution for every decomposition entry point.
+
+    A prebuilt space (either representation) passes through; a graph needs
+    explicit ``r``/``s`` and gets a fresh :class:`NucleusSpace`.
+    """
+    if isinstance(source, (NucleusSpace, CSRSpace)):
+        return source
+    if r is None or s is None:
+        raise ValueError("r and s are required when passing a Graph")
+    return NucleusSpace(source, r, s)
+
+
+def _as_csr(
+    source: Union[Graph, NucleusSpace, CSRSpace],
+    r: Optional[int],
+    s: Optional[int],
+) -> CSRSpace:
+    space = resolve_space(source, r, s)
+    if isinstance(space, CSRSpace):
+        return space
+    return space.to_csr()
+
+
+# ----------------------------------------------------------------------
+# AND kernel
+# ----------------------------------------------------------------------
+def _h_below(rho_values: List[int], current: int) -> int:
+    """h-index of ``rho_values`` given that it is known to be ``< current``.
+
+    Called right after the sustainability scan failed at ``current``, so the
+    counting array clamps to ``current - 1`` instead of ``len(rho_values)``:
+    O(len + current) work, usually far less than a full h-index.
+    """
+    limit = current - 1
+    if limit <= 0:
+        return 0
+    counts = [0] * (limit + 1)
+    for v in rho_values:
+        counts[v if v < limit else limit] += 1
+    running = 0
+    for h in range(limit, 0, -1):
+        running += counts[h]
+        if running >= h:
+            return h
+    return 0
+
+
+def and_decomposition_csr(
+    source: Union[Graph, NucleusSpace, CSRSpace],
+    r: Optional[int] = None,
+    s: Optional[int] = None,
+    *,
+    order=None,
+    seed: Optional[int] = None,
+    kappa_hint: Optional[List[int]] = None,
+    notification: bool = True,
+    max_iterations: Optional[int] = None,
+    record_history: bool = False,
+    reference_kappa: Optional[List[int]] = None,
+    on_iteration: Optional[Callable[[int, List[int]], None]] = None,
+) -> DecompositionResult:
+    """Array-native AND (Algorithm 3) over a :class:`CSRSpace`.
+
+    Semantics match :func:`repro.core.asynd.and_decomposition` exactly — same
+    τ trajectory, same per-iteration stats — with three kernel-level
+    optimisations on top of the flat-array layout:
+
+    * **incremental ρ maintenance**: because τ never increases, the per-
+      context minima only ever decrease, so the kernel keeps a flat ``rho``
+      array up to date (every τ drop pushes the new value into the contexts
+      the clique participates in, via :meth:`CSRSpace.member_contexts`) and
+      the hot scan is a bare read-and-compare — no per-context ``min`` and
+      no list building;
+    * the Section 4.4 "is the current value still sustainable?" check runs
+      with early exit: as soon as ``current`` values ``>= current`` have
+      been seen the clique is settled and the rest of its contexts are not
+      even read (``rho_evaluations`` still charges the full context count
+      per scan so the counter stays comparable with the dict backend's);
+    * a clique whose τ reached 0 is never rescanned (τ is non-increasing,
+      it can never change again), so its contexts stop being charged.
+    """
+    from repro.core.asynd import processing_order
+
+    space = _as_csr(source, r, s)
+    n = len(space)
+    stride = space.stride
+    # kernel-local plain lists: int indexing on lists is the fastest pure-
+    # Python access path, while the canonical storage stays compact arrays
+    ctx_off = list(space.ctx_offsets)
+    cm = list(space.ctx_members)
+    nbr_off = list(space.nbr_offsets)
+    nm = list(space.nbr_members)
+    inv_offsets, inv_ids = space.member_contexts()
+    inv_off = list(inv_offsets)
+    inv = list(inv_ids)
+
+    tau = [ctx_off[i + 1] - ctx_off[i] for i in range(n)]
+    # rho[c] = min over the members of context c of the current tau values;
+    # initialised from the S-degrees and maintained on every tau decrease
+    total = len(cm) // stride if stride else 0
+    if _np is not None and total:
+        members = _np.frombuffer(space.ctx_members, dtype=_np.int64)
+        rho = (
+            _np.asarray(tau, dtype=_np.int64)[members.reshape(total, stride)]
+            .min(axis=1)
+            .tolist()
+        )
+    elif stride == 2:
+        it = iter(cm)
+        rho = [min(tau[x], tau[y]) for x, y in zip(it, it)]
+    else:
+        rho = [
+            min(tau[cm[j]] for j in range(c * stride, (c + 1) * stride))
+            for c in range(total)
+        ]
+    perm = processing_order(space, order if order is not None else "natural",
+                            seed=seed, kappa_hint=kappa_hint)
+    active = [True] * n
+    history: Optional[List[List[int]]] = [list(tau)] if record_history else None
+    stats: List[IterationStats] = []
+    rho_evaluations = 0
+    h_calls = 0
+    skipped_total = 0
+
+    def finish_iteration(iteration, updated, processed, skipped, max_change):
+        nonlocal skipped_total, converged
+        skipped_total += skipped
+        converged = updated == 0
+        if history is not None:
+            history.append(list(tau))
+        if on_iteration is not None:
+            on_iteration(iteration, tau)
+        converged_count = (
+            sum(1 for i in range(n) if tau[i] == reference_kappa[i])
+            if reference_kappa is not None
+            else -1
+        )
+        stats.append(
+            IterationStats(
+                iteration=iteration,
+                updated=updated,
+                processed=processed,
+                skipped=skipped,
+                max_change=max_change,
+                converged_count=converged_count,
+            )
+        )
+
+    iteration = 0
+    converged = n == 0
+    while not converged:
+        if max_iterations is not None and iteration >= max_iterations:
+            break
+        iteration += 1
+        updated = 0
+        processed = 0
+        max_change = 0
+        for i in perm:
+            if notification and not active[i]:
+                continue
+            processed += 1
+            current = tau[i]
+            if current == 0:
+                # τ is non-increasing: a clique at 0 can never change again
+                # (the dict backend recomputes h([ρ...]) = 0 here)
+                active[i] = False
+                continue
+            seg = rho[ctx_off[i]:ctx_off[i + 1]]
+            rho_evaluations += len(seg)
+            # sustainability scan with early exit over the maintained ρ array
+            need = current
+            for v in seg:
+                if v >= current:
+                    need -= 1
+                    if not need:
+                        break
+            if need:
+                # not sustained: h is < current, so the clique must drop
+                new_value = _h_below(seg, current)
+                h_calls += 1
+                tau[i] = new_value
+                updated += 1
+                change = current - new_value
+                if change > max_change:
+                    max_change = change
+                # push the decrease into every context i participates in
+                # (minima only ever decrease, so a compare-and-store suffices)
+                for p in range(inv_off[i], inv_off[i + 1]):
+                    ctx = inv[p]
+                    if new_value < rho[ctx]:
+                        rho[ctx] = new_value
+                if notification:
+                    for p in range(nbr_off[i], nbr_off[i + 1]):
+                        active[nm[p]] = True
+            active[i] = False
+        finish_iteration(iteration, updated, processed, n - processed, max_change)
+
+    return DecompositionResult.from_space(
+        space,
+        algorithm="and",
+        kappa=tau,
+        iterations=iteration,
+        converged=converged,
+        tau_history=history,
+        iteration_stats=stats,
+        operations={
+            "rho_evaluations": rho_evaluations,
+            "h_index_calls": h_calls,
+            "skipped_cliques": skipped_total,
+            "backend": "csr",
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# SND kernel
+# ----------------------------------------------------------------------
+def snd_decomposition_csr(
+    source: Union[Graph, NucleusSpace, CSRSpace],
+    r: Optional[int] = None,
+    s: Optional[int] = None,
+    *,
+    max_iterations: Optional[int] = None,
+    record_history: bool = False,
+    reference_kappa: Optional[List[int]] = None,
+    on_iteration: Optional[Callable[[int, List[int]], None]] = None,
+    use_numpy: Optional[bool] = None,
+) -> DecompositionResult:
+    """Array-native SND (Algorithm 2) over a :class:`CSRSpace`.
+
+    The Jacobi step is vectorised with numpy when available (``use_numpy``
+    forces either path): the per-context minima become one fancy-indexed
+    ``min(axis=1)``, and the per-clique h-indices come from a segment-sorted
+    threshold count.  The pure-Python fallback runs the same flat-array loops
+    as the AND kernel.  κ, iteration counts and per-iteration stats are
+    identical to :func:`repro.core.snd.snd_decomposition`.
+    """
+    space = _as_csr(source, r, s)
+    if use_numpy is None:
+        use_numpy = _np is not None
+    if use_numpy and _np is None:
+        raise ValueError("use_numpy=True but numpy is not installed")
+    runner = _snd_csr_numpy if use_numpy else _snd_csr_python
+    return runner(
+        space,
+        max_iterations=max_iterations,
+        record_history=record_history,
+        reference_kappa=reference_kappa,
+        on_iteration=on_iteration,
+    )
+
+
+def _snd_csr_python(
+    space: CSRSpace,
+    *,
+    max_iterations: Optional[int],
+    record_history: bool,
+    reference_kappa: Optional[List[int]],
+    on_iteration: Optional[Callable[[int, List[int]], None]],
+) -> DecompositionResult:
+    n = len(space)
+    stride = space.stride
+    ctx_off = list(space.ctx_offsets)
+    cm = list(space.ctx_members)
+    tau = [ctx_off[i + 1] - ctx_off[i] for i in range(n)]
+    history: Optional[List[List[int]]] = [list(tau)] if record_history else None
+    stats: List[IterationStats] = []
+    rho_evaluations = 0
+    h_calls = 0
+
+    iteration = 0
+    converged = n == 0
+    while not converged:
+        if max_iterations is not None and iteration >= max_iterations:
+            break
+        iteration += 1
+        previous = tau
+        tau = [0] * n
+        updated = 0
+        max_change = 0
+        for i in range(n):
+            start = ctx_off[i]
+            end = ctx_off[i + 1]
+            if stride == 2:
+                rho_values = [
+                    min(previous[cm[2 * c]], previous[cm[2 * c + 1]])
+                    for c in range(start, end)
+                ]
+            else:
+                rho_values = []
+                append = rho_values.append
+                for c in range(start, end):
+                    b = c * stride
+                    v = previous[cm[b]]
+                    for j in range(b + 1, b + stride):
+                        w = previous[cm[j]]
+                        if w < v:
+                            v = w
+                    append(v)
+            rho_evaluations += end - start
+            new_value = h_index(rho_values)
+            h_calls += 1
+            tau[i] = new_value
+            if new_value != previous[i]:
+                updated += 1
+                change = previous[i] - new_value
+                if change > max_change:
+                    max_change = change
+        converged = updated == 0
+        if history is not None:
+            history.append(list(tau))
+        if on_iteration is not None:
+            on_iteration(iteration, tau)
+        converged_count = (
+            sum(1 for i in range(n) if tau[i] == reference_kappa[i])
+            if reference_kappa is not None
+            else -1
+        )
+        stats.append(
+            IterationStats(
+                iteration=iteration,
+                updated=updated,
+                processed=n,
+                skipped=0,
+                max_change=max_change,
+                converged_count=converged_count,
+            )
+        )
+
+    return DecompositionResult.from_space(
+        space,
+        algorithm="snd",
+        kappa=tau,
+        iterations=iteration,
+        converged=converged,
+        tau_history=history,
+        iteration_stats=stats,
+        operations={
+            "rho_evaluations": rho_evaluations,
+            "h_index_calls": h_calls,
+            "backend": "csr",
+            "numpy": 0,
+        },
+    )
+
+
+def _snd_csr_numpy(
+    space: CSRSpace,
+    *,
+    max_iterations: Optional[int],
+    record_history: bool,
+    reference_kappa: Optional[List[int]],
+    on_iteration: Optional[Callable[[int, List[int]], None]],
+) -> DecompositionResult:
+    n = len(space)
+    stride = space.stride
+    ctx_off = _np.frombuffer(space.ctx_offsets, dtype=_np.int64).copy()
+    members = _np.frombuffer(space.ctx_members, dtype=_np.int64).copy()
+    total = int(ctx_off[n]) if n else 0
+    mem2d = members.reshape(total, stride) if total else members.reshape(0, max(stride, 1))
+    degrees = ctx_off[1:] - ctx_off[:-1]
+    # segment bookkeeping for the vectorised per-clique h-index:
+    # seg_ids[c] = owning clique of context c, pos_in_seg[c] = rank of c
+    # within its clique after the descending sort below
+    seg_ids = _np.repeat(_np.arange(n, dtype=_np.int64), degrees)
+    pos_in_seg = _np.arange(total, dtype=_np.int64) - _np.repeat(ctx_off[:-1], degrees)
+    ref = (
+        _np.asarray(reference_kappa, dtype=_np.int64)
+        if reference_kappa is not None
+        else None
+    )
+
+    tau = degrees.copy()
+    history: Optional[List[List[int]]] = [tau.tolist()] if record_history else None
+    stats: List[IterationStats] = []
+    rho_evaluations = 0
+    h_calls = 0
+
+    iteration = 0
+    converged = n == 0
+    while not converged:
+        if max_iterations is not None and iteration >= max_iterations:
+            break
+        iteration += 1
+        previous = tau
+        if total:
+            rho = previous[mem2d].min(axis=1)
+            # sort ρ descending within each clique's segment (lexsort is
+            # stable and seg_ids is already non-decreasing, so segments stay
+            # contiguous); h = #{k : sorted_rho[k] >= k + 1} per segment,
+            # a prefix property because sorted_rho falls while k + 1 rises
+            order = _np.lexsort((-rho, seg_ids))
+            qualifies = rho[order] >= pos_in_seg + 1
+            tau = _np.bincount(seg_ids[qualifies], minlength=n)
+        else:
+            tau = _np.zeros(n, dtype=_np.int64)
+        rho_evaluations += total
+        h_calls += n
+        changed = tau != previous
+        updated = int(changed.sum())
+        max_change = int((previous - tau).max(initial=0))
+        converged = updated == 0
+        if history is not None:
+            history.append(tau.tolist())
+        if on_iteration is not None:
+            on_iteration(iteration, tau.tolist())
+        converged_count = int((tau == ref).sum()) if ref is not None else -1
+        stats.append(
+            IterationStats(
+                iteration=iteration,
+                updated=updated,
+                processed=n,
+                skipped=0,
+                max_change=max_change,
+                converged_count=converged_count,
+            )
+        )
+
+    return DecompositionResult.from_space(
+        space,
+        algorithm="snd",
+        kappa=[int(v) for v in tau],
+        iterations=iteration,
+        converged=converged,
+        tau_history=history,
+        iteration_stats=stats,
+        operations={
+            "rho_evaluations": rho_evaluations,
+            "h_index_calls": h_calls,
+            "backend": "csr",
+            "numpy": 1,
+        },
+    )
+
+
+def chunk_ranges(n: int, num_chunks: int) -> Iterator[Tuple[int, int]]:
+    """Split ``range(n)`` into up to ``num_chunks`` contiguous index ranges.
+
+    Used by the parallel runner to dispatch CSR row ranges instead of
+    per-index tasks: one task per chunk amortises the dispatch overhead over
+    many ρ evaluations.
+    """
+    if n <= 0 or num_chunks <= 0:
+        return
+    size = -(-n // num_chunks)  # ceil
+    for lo in range(0, n, size):
+        yield lo, min(lo + size, n)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Union
 
 from repro.core.asynd import and_decomposition
+from repro.core.csr import BACKENDS, CSRSpace
 from repro.core.peeling import peeling_decomposition
 from repro.core.result import DecompositionResult
 from repro.core.snd import snd_decomposition
@@ -27,17 +28,19 @@ __all__ = [
     "core_numbers",
     "truss_numbers",
     "ALGORITHMS",
+    "BACKENDS",
 ]
 
 ALGORITHMS = ("peeling", "snd", "and")
 
 
 def nucleus_decomposition(
-    source: Union[Graph, NucleusSpace],
+    source: Union[Graph, NucleusSpace, CSRSpace],
     r: Optional[int] = None,
     s: Optional[int] = None,
     *,
     algorithm: str = "and",
+    backend: str = "auto",
     **options,
 ) -> DecompositionResult:
     """Compute the (r, s) nucleus decomposition with the chosen algorithm.
@@ -46,11 +49,17 @@ def nucleus_decomposition(
     ----------
     source:
         A :class:`Graph` (then ``r`` and ``s`` are required) or a prebuilt
-        :class:`NucleusSpace` (then ``r``/``s`` are taken from it).
+        :class:`NucleusSpace` / :class:`CSRSpace` (then ``r``/``s`` are taken
+        from it).
     algorithm:
         ``"peeling"`` (exact global baseline, Algorithm 1),
         ``"snd"`` (synchronous local, Algorithm 2) or
         ``"and"`` (asynchronous local, Algorithm 3 — the default).
+    backend:
+        Space representation the kernels run on: ``"dict"`` (the tuple/set
+        :class:`NucleusSpace` structure), ``"csr"`` (flat int arrays, see
+        :mod:`repro.core.csr`) or ``"auto"`` (default; CSR for large spaces).
+        κ is backend-independent.
     options:
         Forwarded to the selected algorithm (e.g. ``max_iterations``,
         ``record_history``, ``order``, ``notification``).
@@ -63,7 +72,7 @@ def nucleus_decomposition(
         raise ValueError(
             f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
         )
-    if isinstance(source, NucleusSpace):
+    if isinstance(source, (NucleusSpace, CSRSpace)):
         space = source
     else:
         if r is None or s is None:
@@ -75,10 +84,10 @@ def nucleus_decomposition(
             raise ValueError(
                 f"peeling accepts no extra options, got {sorted(options)}"
             )
-        return peeling_decomposition(space)
+        return peeling_decomposition(space, backend=backend)
     if algorithm == "snd":
-        return snd_decomposition(space, **options)
-    return and_decomposition(space, **options)
+        return snd_decomposition(space, backend=backend, **options)
+    return and_decomposition(space, backend=backend, **options)
 
 
 def core_decomposition(

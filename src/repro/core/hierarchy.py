@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.result import DecompositionResult
 from repro.core.space import NucleusSpace
-from repro.graph.graph import Graph, Vertex
+from repro.graph.graph import Vertex
 
 __all__ = ["Nucleus", "NucleusHierarchy", "build_hierarchy"]
 

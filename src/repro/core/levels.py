@@ -40,7 +40,6 @@ def degree_levels(
         minimum = min(current[i] for i in range(n) if not removed[i])
         level = [i for i in range(n) if not removed[i] and current[i] == minimum]
         levels.append(level)
-        level_set = set(level)
         for i in level:
             removed[i] = True
         remaining -= len(level)
@@ -54,8 +53,6 @@ def degree_levels(
                 if all(not removed[o] for o in others):
                     alive += 1
             current[i] = alive
-        # avoid unused-variable lint on level_set while keeping intent clear
-        del level_set
     return levels
 
 

@@ -12,7 +12,7 @@ rapidly with the hop radius; experiment E8 quantifies that trade-off.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.asynd import and_decomposition
 from repro.core.snd import snd_decomposition

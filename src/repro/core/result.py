@@ -9,9 +9,12 @@ operation counters and convergence metadata all live here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.space import Clique, NucleusSpace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (csr imports result)
+    from repro.core.csr import CSRSpace
 
 __all__ = ["DecompositionResult", "IterationStats"]
 
@@ -65,7 +68,13 @@ class DecompositionResult:
     iteration_stats:
         Optional per-iteration counters (updates, skips, ...).
     operations:
-        Coarse operation counters, e.g. ``{"rho_evaluations": ..., "h_index_calls": ...}``.
+        Coarse operation counters, e.g. ``{"rho_evaluations": ..., "h_index_calls": ...}``,
+        plus backend metadata (``"backend": "dict" | "csr"``) and internal
+        payloads (the peel order).  Counters are backend-dependent: the CSR
+        AND kernel charges the full context count per scan (comparable with
+        the dict backend) but never rescans cliques whose τ reached 0, so
+        its ``rho_evaluations`` and ``h_index_calls`` come out lower for the
+        same τ trajectory.
     """
 
     r: int
@@ -77,7 +86,7 @@ class DecompositionResult:
     converged: bool = True
     tau_history: Optional[List[List[int]]] = None
     iteration_stats: List[IterationStats] = field(default_factory=list)
-    operations: Dict[str, int] = field(default_factory=dict)
+    operations: Dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -121,12 +130,16 @@ class DecompositionResult:
     @classmethod
     def from_space(
         cls,
-        space: NucleusSpace,
+        space: Union[NucleusSpace, "CSRSpace"],
         algorithm: str,
         kappa: List[int],
         **kwargs,
     ) -> "DecompositionResult":
-        """Build a result aligned with an existing :class:`NucleusSpace`."""
+        """Build a result aligned with a :class:`NucleusSpace` or :class:`CSRSpace`.
+
+        Both space representations expose index-aligned ``r``, ``s`` and
+        ``cliques``, which is all the result needs.
+        """
         return cls(
             r=space.r,
             s=space.s,

@@ -10,6 +10,12 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Union
 
+from repro.core.csr import (
+    CSRSpace,
+    resolve_backend,
+    resolve_space,
+    snd_decomposition_csr,
+)
 from repro.core.hindex import h_index
 from repro.core.result import DecompositionResult, IterationStats
 from repro.core.space import NucleusSpace
@@ -19,7 +25,7 @@ __all__ = ["snd_decomposition", "snd_iterations"]
 
 
 def snd_decomposition(
-    source: Union[Graph, NucleusSpace],
+    source: Union[Graph, NucleusSpace, CSRSpace],
     r: Optional[int] = None,
     s: Optional[int] = None,
     *,
@@ -27,6 +33,7 @@ def snd_decomposition(
     record_history: bool = False,
     reference_kappa: Optional[List[int]] = None,
     on_iteration: Optional[Callable[[int, List[int]], None]] = None,
+    backend: str = "auto",
 ) -> DecompositionResult:
     """Run the synchronous local algorithm until convergence.
 
@@ -48,12 +55,26 @@ def snd_decomposition(
         Optional callback ``f(iteration, tau)`` invoked after each iteration,
         used by the experiment harness to compute online metrics without
         storing full histories.
+    backend:
+        ``"dict"`` runs this module's kernel over :class:`NucleusSpace`;
+        ``"csr"`` runs :func:`repro.core.csr.snd_decomposition_csr` over flat
+        arrays (numpy-vectorised Jacobi step when numpy is installed);
+        ``"auto"`` (default) picks CSR for large spaces.  κ is identical
+        either way.
 
     Returns
     -------
     DecompositionResult
     """
-    space = _resolve_space(source, r, s)
+    space = resolve_space(source, r, s)
+    if resolve_backend(backend, space) == "csr":
+        return snd_decomposition_csr(
+            space,
+            max_iterations=max_iterations,
+            record_history=record_history,
+            reference_kappa=reference_kappa,
+            on_iteration=on_iteration,
+        )
     tau = space.s_degrees()
     n = len(space)
     history: Optional[List[List[int]]] = [list(tau)] if record_history else None
@@ -115,6 +136,7 @@ def snd_decomposition(
         operations={
             "rho_evaluations": rho_evaluations,
             "h_index_calls": h_calls,
+            "backend": "dict",
         },
     )
 
@@ -131,13 +153,3 @@ def snd_iterations(
     )
     assert result.tau_history is not None
     return result.tau_history
-
-
-def _resolve_space(
-    source: Union[Graph, NucleusSpace], r: Optional[int], s: Optional[int]
-) -> NucleusSpace:
-    if isinstance(source, NucleusSpace):
-        return source
-    if r is None or s is None:
-        raise ValueError("r and s are required when passing a Graph")
-    return NucleusSpace(source, r, s)

@@ -20,10 +20,10 @@ mirroring the implementation choice in Section 5 of the paper.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.graph.cliques import canonical_clique, enumerate_k_cliques, is_clique
-from repro.graph.graph import Graph, Vertex
+from repro.graph.graph import Graph, Vertex, sorted_vertices
 
 __all__ = ["NucleusSpace"]
 
@@ -61,6 +61,7 @@ class NucleusSpace:
         # s-clique.
         self._contexts: List[List[Tuple[int, ...]]] = []
         self._neighbors: List[Set[int]] = []
+        self._csr = None  # memoised CSR flattening (see to_csr)
         self._build()
 
     # ------------------------------------------------------------------
@@ -109,6 +110,22 @@ class NucleusSpace:
             raise ValueError("value array length does not match clique count")
         return {self.cliques[i]: values[i] for i in range(len(values))}
 
+    def to_csr(self) -> "CSRSpace":
+        """Flatten into the CSR array backend (:class:`repro.core.csr.CSRSpace`).
+
+        The CSR form is index-compatible with this space (clique ``i`` is the
+        same r-clique in both), compact, picklable, and what the array-native
+        kernels operate on.  The flattening is memoised: the space is
+        immutable after construction, so repeated ``backend="csr"`` runs on
+        the same space reuse one ``CSRSpace`` (and its cached reverse index)
+        instead of re-flattening per call.
+        """
+        from repro.core.csr import CSRSpace
+
+        if self._csr is None:
+            self._csr = CSRSpace.from_space(self)
+        return self._csr
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
@@ -138,7 +155,7 @@ class NucleusSpace:
 
     def _build_vertex_edge(self) -> None:
         """(1, 2): r-cliques are vertices, s-cliques are edges."""
-        for v in sorted(self.graph.vertices(), key=repr):
+        for v in sorted_vertices(self.graph.vertices()):
             self._register((v,))
         for u, v in self.graph.edges():
             iu = self.index[(u,)]

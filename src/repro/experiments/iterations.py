@@ -9,11 +9,10 @@ best-case (κ order, Theorem 4: one iteration) / worst-case spread.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.asynd import and_decomposition
 from repro.core.levels import convergence_upper_bound
-from repro.core.peeling import peeling_decomposition
 from repro.core.snd import snd_decomposition
 from repro.core.space import NucleusSpace
 from repro.datasets.registry import load_dataset

@@ -75,7 +75,6 @@ def _plateau_statistics(history: List[List[int]], n: int) -> List[Dict[str, obje
     """Mean plateau length (iterations spent at a non-final constant value)."""
     if not history or n == 0:
         return []
-    final = history[-1]
     total_plateau = 0
     total_final_wait = 0
     converged_at = [0] * n

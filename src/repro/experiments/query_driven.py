@@ -12,7 +12,7 @@ the query-driven mode attractive.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.core.peeling import peeling_decomposition
 from repro.core.query import estimate_local_indices

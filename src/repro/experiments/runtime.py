@@ -39,16 +39,21 @@ def run_runtime_comparison(
         for r, s in instances:
             space = NucleusSpace(graph, r, s)
 
+            # pinned to the dict backend: this experiment compares the
+            # *algorithmic work* counters across algorithms, and the CSR
+            # kernels charge rho_evaluations/h_index_calls differently
+            # (early exits, tau=0 skips), so mixing backends across rows
+            # would break comparability with the paper's figures
             start = time.perf_counter()
-            peel = peeling_decomposition(space)
+            peel = peeling_decomposition(space, backend="dict")
             peel_seconds = time.perf_counter() - start
 
             start = time.perf_counter()
-            snd = snd_decomposition(space)
+            snd = snd_decomposition(space, backend="dict")
             snd_seconds = time.perf_counter() - start
 
             start = time.perf_counter()
-            asynchronous = and_decomposition(space)
+            asynchronous = and_decomposition(space, backend="dict")
             and_seconds = time.perf_counter() - start
 
             snd_work = snd.operations.get("rho_evaluations", 0)

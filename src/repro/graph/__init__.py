@@ -6,7 +6,7 @@ can be reused as a lightweight graph library.  Everything operates on the
 graph as adjacency sets over integer (or hashable) vertex identifiers.
 """
 
-from repro.graph.graph import Graph
+from repro.graph.graph import Graph, sorted_vertices
 from repro.graph.generators import (
     barabasi_albert_graph,
     erdos_renyi_graph,
@@ -37,6 +37,7 @@ from repro.graph.cliques import (
 
 __all__ = [
     "Graph",
+    "sorted_vertices",
     "barabasi_albert_graph",
     "erdos_renyi_graph",
     "heterogeneous_cluster_graph",

@@ -13,7 +13,7 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Dict, Iterator, List, Tuple
 
-from repro.graph.graph import Graph, Vertex
+from repro.graph.graph import Graph, Vertex, sorted_vertices
 from repro.graph.triangles import degeneracy_ordering
 
 __all__ = [
@@ -139,15 +139,21 @@ def cliques_containing(
     if extra_needed == 0:
         yield canonical_clique(base)
         return
-    common_sorted = sorted(common, key=repr)
+    common_sorted = sorted_vertices(common)
     for extra in combinations(common_sorted, extra_needed):
         if is_clique(graph, extra):
             yield canonical_clique(base + extra)
 
 
 def canonical_clique(vertices: Tuple[Vertex, ...]) -> Clique:
-    """Canonical (sorted) representation of a clique, stable across runs."""
+    """Canonical (sorted) representation of a clique, stable across runs.
+
+    Natural order when the vertices are comparable; the fallback for mixed
+    incomparable types is the same type-stable key as
+    :func:`repro.graph.graph.sorted_vertices`, so integer labels never end
+    up in repr (lexicographic) order anywhere in the package.
+    """
     try:
         return tuple(sorted(vertices))
     except TypeError:
-        return tuple(sorted(vertices, key=repr))
+        return tuple(sorted_vertices(vertices))

@@ -12,7 +12,7 @@ reproducible bit-for-bit.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.graph.graph import Graph
 

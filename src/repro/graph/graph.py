@@ -16,7 +16,25 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tupl
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
 
-__all__ = ["Graph", "Vertex", "Edge", "canonical_edge"]
+__all__ = ["Graph", "Vertex", "Edge", "canonical_edge", "sorted_vertices"]
+
+
+def sorted_vertices(vertices: Iterable[Vertex]) -> List[Vertex]:
+    """Sort vertices with a type-stable key.
+
+    Vertices are grouped by type name and compared with their natural order
+    within each group, so integer labels sort numerically (2 before 10) while
+    mixed-type vertex sets still order deterministically.  Sorting by ``repr``
+    — the previous behaviour — put vertex 10 before vertex 2, which leaked
+    into the (1, 2) clique indexing of :class:`repro.core.space.NucleusSpace`.
+    Falls back to comparing ``repr`` within each type group when the natural
+    comparison is undefined (e.g. tuples with incomparable elements).
+    """
+    items = list(vertices)
+    try:
+        return sorted(items, key=lambda v: (type(v).__name__, v))
+    except TypeError:
+        return sorted(items, key=lambda v: (type(v).__name__, repr(v)))
 
 
 def canonical_edge(u: Vertex, v: Vertex) -> Edge:

@@ -12,7 +12,7 @@ import json
 from pathlib import Path
 from typing import Union
 
-from repro.graph.graph import Graph
+from repro.graph.graph import Graph, sorted_vertices
 
 __all__ = [
     "read_edge_list",
@@ -77,7 +77,7 @@ def write_json_graph(graph: Graph, path: PathLike) -> None:
     """Write the graph as ``{"vertices": [...], "edges": [[u, v], ...]}``."""
     path = Path(path)
     payload = {
-        "vertices": sorted(graph.vertices(), key=repr),
+        "vertices": sorted_vertices(graph.vertices()),
         "edges": sorted(
             ([u, v] for u, v in graph.edges()),
             key=lambda e: (repr(e[0]), repr(e[1])),

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.core.csr import CSRSpace, chunk_ranges, resolve_backend, resolve_space
 from repro.core.hindex import h_index
 from repro.core.result import DecompositionResult
 from repro.core.space import NucleusSpace
@@ -31,21 +32,37 @@ __all__ = [
 
 
 def parallel_snd_decomposition(
-    source: Union[Graph, NucleusSpace],
+    source: Union[Graph, NucleusSpace, CSRSpace],
     r: Optional[int] = None,
     s: Optional[int] = None,
     *,
     num_threads: int = 4,
     max_iterations: Optional[int] = None,
+    backend: str = "auto",
+    chunks_per_thread: int = 4,
 ) -> DecompositionResult:
     """SND with per-iteration updates evaluated on a thread pool.
 
     Semantically identical to :func:`repro.core.snd.snd_decomposition`; the
     synchronous (Jacobi) structure means every task only reads the frozen
     previous-iteration vector, so concurrent evaluation is trivially safe.
+
+    With ``backend="csr"`` (or ``"auto"`` on a large space) the per-index
+    task dispatch is replaced by *chunked CSR ranges*: the clique index space
+    is cut into ``num_threads * chunks_per_thread`` contiguous ranges and
+    each pool task sweeps one range over the flat arrays.  That amortises
+    the dispatch overhead over many ρ evaluations while keeping enough
+    chunks for dynamic load balancing, and is the shape a future
+    multiprocessing runner needs (a :class:`CSRSpace` is picklable and can
+    be shared across workers, unlike the dict-of-tuples space).
     """
-    space = _resolve_space(source, r, s)
-    backend = ThreadPoolBackend(num_threads)
+    space = resolve_space(source, r, s)
+    pool = ThreadPoolBackend(num_threads)
+    if resolve_backend(backend, space) == "csr":
+        csr = space if isinstance(space, CSRSpace) else space.to_csr()
+        return _parallel_snd_csr(
+            csr, pool, num_threads * max(chunks_per_thread, 1), max_iterations
+        )
     n = len(space)
     tau = space.s_degrees()
     iteration = 0
@@ -64,7 +81,7 @@ def parallel_snd_decomposition(
             ]
             return h_index(rho_values)
 
-        tau = backend.map(update, list(range(n)))
+        tau = pool.map(update, list(range(n)))
         converged = tau == previous
 
     return DecompositionResult.from_space(
@@ -74,6 +91,63 @@ def parallel_snd_decomposition(
         iterations=iteration,
         converged=converged,
         operations={"num_threads": num_threads},
+    )
+
+
+def _parallel_snd_csr(
+    space: CSRSpace,
+    pool: ThreadPoolBackend,
+    num_chunks: int,
+    max_iterations: Optional[int],
+) -> DecompositionResult:
+    """Jacobi iterations where each pool task sweeps one CSR index range."""
+    n = len(space)
+    stride = space.stride
+    ctx_off = list(space.ctx_offsets)
+    cm = list(space.ctx_members)
+    ranges = list(chunk_ranges(n, num_chunks))
+    tau = [ctx_off[i + 1] - ctx_off[i] for i in range(n)]
+    iteration = 0
+    converged = n == 0
+
+    while not converged:
+        if max_iterations is not None and iteration >= max_iterations:
+            break
+        iteration += 1
+        previous = tau
+
+        def sweep(bounds, _prev: List[int] = previous) -> List[int]:
+            lo, hi = bounds
+            out = []
+            append = out.append
+            for i in range(lo, hi):
+                rho_values = []
+                for c in range(ctx_off[i], ctx_off[i + 1]):
+                    b = c * stride
+                    v = _prev[cm[b]]
+                    for j in range(b + 1, b + stride):
+                        w = _prev[cm[j]]
+                        if w < v:
+                            v = w
+                    rho_values.append(v)
+                append(h_index(rho_values))
+            return out
+
+        parts = pool.map(sweep, ranges)
+        tau = [v for part in parts for v in part]
+        converged = tau == previous
+
+    return DecompositionResult.from_space(
+        space,
+        algorithm="snd-parallel",
+        kappa=list(tau),
+        iterations=iteration,
+        converged=converged,
+        operations={
+            "num_threads": pool.num_threads,
+            "chunks": len(ranges),
+            "backend": "csr",
+        },
     )
 
 
@@ -149,13 +223,3 @@ def simulate_peeling_scalability(
             per_thread_work=[makespan] * p,
         )
     return reports
-
-
-def _resolve_space(
-    source: Union[Graph, NucleusSpace], r: Optional[int], s: Optional[int]
-) -> NucleusSpace:
-    if isinstance(source, NucleusSpace):
-        return source
-    if r is None or s is None:
-        raise ValueError("r and s are required when passing a Graph")
-    return NucleusSpace(source, r, s)

@@ -6,7 +6,6 @@ from repro.core.asynd import and_decomposition, processing_order
 from repro.core.peeling import peeling_decomposition
 from repro.core.snd import snd_decomposition
 from repro.core.space import NucleusSpace
-from repro.graph.generators import powerlaw_cluster_graph
 from repro.graph.graph import Graph
 
 

@@ -1,7 +1,5 @@
 """Tests for k-clique enumeration and S-degree computation."""
 
-from itertools import combinations
-
 import networkx as nx
 import pytest
 
@@ -13,7 +11,7 @@ from repro.graph.cliques import (
     enumerate_k_cliques,
     is_clique,
 )
-from repro.graph.generators import complete_graph, powerlaw_cluster_graph
+from repro.graph.generators import complete_graph
 from repro.graph.graph import Graph
 
 

@@ -1,0 +1,292 @@
+"""CSR array backend: structure round-trips and dict/CSR kernel parity.
+
+The contract under test: for every graph, every (r, s) instance, every
+algorithm and every ordering, the CSR kernels produce κ (and iteration
+behaviour) identical to the dict backend.  Property-style over the
+deterministic generators.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.asynd import and_decomposition
+from repro.core.csr import (
+    AUTO_CSR_THRESHOLD,
+    HAVE_NUMPY,
+    CSRSpace,
+    and_decomposition_csr,
+    resolve_backend,
+    snd_decomposition_csr,
+)
+from repro.core.decomposition import nucleus_decomposition
+from repro.core.peeling import peeling_decomposition
+from repro.core.snd import snd_decomposition
+from repro.core.space import NucleusSpace
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    planted_clique_graph,
+    powerlaw_cluster_graph,
+    ring_of_cliques,
+)
+from repro.graph.graph import Graph
+
+INSTANCES = [(1, 2), (2, 3), (3, 4)]
+
+
+def random_graphs():
+    return [
+        powerlaw_cluster_graph(120, 4, 0.4, seed=42),
+        planted_clique_graph(90, 10, 0.07, seed=7),
+        erdos_renyi_graph(70, 0.12, seed=3),
+        ring_of_cliques(5, 5),
+    ]
+
+
+@pytest.fixture(params=range(4), ids=["powerlaw", "planted", "er", "ring"])
+def any_graph(request):
+    return random_graphs()[request.param]
+
+
+class TestCSRSpaceStructure:
+    @pytest.mark.parametrize("rs", INSTANCES)
+    def test_round_trip_and_validate(self, any_graph, rs):
+        space = NucleusSpace(any_graph, *rs)
+        csr = space.to_csr()
+        csr.validate()
+        assert len(csr) == len(space)
+        assert csr.r == space.r and csr.s == space.s
+        assert csr.cliques == space.cliques
+        assert csr.s_degrees() == space.s_degrees()
+        assert csr.number_of_s_cliques() == space.number_of_s_cliques()
+        for i in range(len(space)):
+            assert csr.s_degree(i) == space.s_degree(i)
+            # context multisets coincide (order within a context preserved)
+            assert sorted(csr.contexts(i)) == sorted(space.contexts(i))
+            assert set(csr.neighbors(i)) == set(space.neighbors(i))
+
+    def test_pickle_round_trip(self):
+        space = NucleusSpace(powerlaw_cluster_graph(80, 4, 0.4, seed=1), 2, 3)
+        csr = space.to_csr()
+        clone = pickle.loads(pickle.dumps(csr))
+        clone.validate()
+        assert clone.cliques == csr.cliques
+        assert list(clone.ctx_offsets) == list(csr.ctx_offsets)
+        assert list(clone.ctx_members) == list(csr.ctx_members)
+        assert list(clone.nbr_offsets) == list(csr.nbr_offsets)
+        assert list(clone.nbr_members) == list(csr.nbr_members)
+        # the clone must be fully usable
+        assert (
+            and_decomposition_csr(clone).kappa == and_decomposition_csr(csr).kappa
+        )
+
+    def test_member_contexts_inverse(self):
+        space = NucleusSpace(powerlaw_cluster_graph(60, 4, 0.5, seed=2), 2, 3)
+        csr = space.to_csr()
+        offsets, ids = csr.member_contexts()
+        stride = csr.stride
+        for i in range(len(csr)):
+            for p in range(offsets[i], offsets[i + 1]):
+                c = ids[p]
+                members = csr.ctx_members[c * stride:(c + 1) * stride]
+                assert i in members
+        # every membership is accounted for exactly once
+        assert offsets[len(csr)] == len(csr.ctx_members)
+
+    def test_nbytes_positive(self):
+        csr = NucleusSpace(ring_of_cliques(3, 4), 1, 2).to_csr()
+        assert csr.nbytes() > 0
+
+    def test_validate_catches_corruption(self):
+        csr = NucleusSpace(ring_of_cliques(3, 4), 2, 3).to_csr()
+        csr.ctx_members[0] = len(csr) + 5
+        with pytest.raises(AssertionError):
+            csr.validate()
+
+    def test_as_dict_matches_space(self):
+        space = NucleusSpace(ring_of_cliques(3, 4), 1, 2)
+        csr = space.to_csr()
+        values = list(range(len(space)))
+        assert csr.as_dict(values) == space.as_dict(values)
+        with pytest.raises(ValueError):
+            csr.as_dict(values + [0])
+
+
+class TestBackendSelection:
+    def test_resolve_backend_values(self):
+        small = NucleusSpace(ring_of_cliques(3, 4), 1, 2)
+        assert resolve_backend("dict", small) == "dict"
+        assert resolve_backend("csr", small) == "csr"
+        assert resolve_backend("auto", small) == "dict"  # below the threshold
+        assert len(small) < AUTO_CSR_THRESHOLD
+        with pytest.raises(ValueError):
+            resolve_backend("magic", small)
+
+    def test_auto_picks_csr_for_large_spaces(self):
+        space = NucleusSpace(powerlaw_cluster_graph(400, 4, 0.3, seed=4), 1, 2)
+        assert len(space) >= AUTO_CSR_THRESHOLD
+        assert resolve_backend("auto", space) == "csr"
+        result = and_decomposition(space)  # backend="auto"
+        assert result.operations.get("backend") == "csr"
+
+    def test_csr_space_rejects_dict_backend(self):
+        csr = NucleusSpace(ring_of_cliques(3, 4), 1, 2).to_csr()
+        with pytest.raises(ValueError):
+            and_decomposition(csr, backend="dict")
+
+    def test_nucleus_decomposition_forwards_backend(self, triangle_graph):
+        for algorithm in ("peeling", "snd", "and"):
+            a = nucleus_decomposition(triangle_graph, 1, 2, algorithm=algorithm)
+            b = nucleus_decomposition(
+                triangle_graph, 1, 2, algorithm=algorithm, backend="csr"
+            )
+            assert a.kappa == b.kappa
+            assert b.operations.get("backend") == "csr"
+
+
+class TestKernelParity:
+    @pytest.mark.parametrize("rs", INSTANCES)
+    def test_and_kappa_parity(self, any_graph, rs):
+        space = NucleusSpace(any_graph, *rs)
+        csr = space.to_csr()
+        reference = and_decomposition(space, backend="dict")
+        result = and_decomposition_csr(csr)
+        assert result.kappa == reference.kappa
+        assert result.iterations == reference.iterations
+        assert result.converged and reference.converged
+
+    @pytest.mark.parametrize(
+        "order", ["natural", "degree", "degree_desc", "random", "peel"]
+    )
+    @pytest.mark.parametrize("rs", INSTANCES)
+    def test_and_parity_across_orders(self, rs, order):
+        graph = powerlaw_cluster_graph(100, 4, 0.45, seed=13)
+        space = NucleusSpace(graph, *rs)
+        csr = space.to_csr()
+        a = and_decomposition(
+            space, order=order, seed=5, record_history=True, backend="dict"
+        )
+        b = and_decomposition_csr(csr, order=order, seed=5, record_history=True)
+        assert a.kappa == b.kappa
+        assert a.tau_history == b.tau_history
+        rows_a = [s.as_row() for s in a.iteration_stats]
+        rows_b = [s.as_row() for s in b.iteration_stats]
+        assert rows_a == rows_b
+
+    def test_and_kappa_order_parity(self):
+        graph = powerlaw_cluster_graph(100, 4, 0.45, seed=13)
+        space = NucleusSpace(graph, 2, 3)
+        hint = peeling_decomposition(space, backend="dict").kappa
+        a = and_decomposition(space, order="kappa", kappa_hint=hint, backend="dict")
+        b = and_decomposition_csr(space.to_csr(), order="kappa", kappa_hint=hint)
+        assert a.kappa == b.kappa
+
+    @pytest.mark.parametrize("notification", [True, False])
+    def test_and_notification_parity(self, any_graph, notification):
+        space = NucleusSpace(any_graph, 2, 3)
+        a = and_decomposition(space, notification=notification, backend="dict")
+        b = and_decomposition_csr(space.to_csr(), notification=notification)
+        assert a.kappa == b.kappa
+        assert a.iterations == b.iterations
+
+    def test_and_max_iterations_parity(self, any_graph):
+        space = NucleusSpace(any_graph, 2, 3)
+        for cap in (0, 1, 2):
+            a = and_decomposition(space, max_iterations=cap, backend="dict")
+            b = and_decomposition_csr(space.to_csr(), max_iterations=cap)
+            assert a.kappa == b.kappa
+            assert a.converged == b.converged
+
+    @pytest.mark.parametrize("rs", INSTANCES)
+    def test_snd_parity(self, any_graph, rs):
+        space = NucleusSpace(any_graph, *rs)
+        csr = space.to_csr()
+        reference = snd_decomposition(space, backend="dict", record_history=True)
+        python_result = snd_decomposition_csr(
+            csr, use_numpy=False, record_history=True
+        )
+        assert python_result.kappa == reference.kappa
+        assert python_result.iterations == reference.iterations
+        assert python_result.tau_history == reference.tau_history
+        if HAVE_NUMPY:
+            numpy_result = snd_decomposition_csr(
+                csr, use_numpy=True, record_history=True
+            )
+            assert numpy_result.kappa == reference.kappa
+            assert numpy_result.iterations == reference.iterations
+            assert numpy_result.tau_history == reference.tau_history
+
+    def test_snd_max_iterations_parity(self, any_graph):
+        space = NucleusSpace(any_graph, 2, 3)
+        csr = space.to_csr()
+        for cap in (0, 1, 3):
+            a = snd_decomposition(space, max_iterations=cap, backend="dict")
+            b = snd_decomposition_csr(csr, use_numpy=False, max_iterations=cap)
+            assert a.kappa == b.kappa and a.converged == b.converged
+            if HAVE_NUMPY:
+                c = snd_decomposition_csr(csr, use_numpy=True, max_iterations=cap)
+                assert a.kappa == c.kappa and a.converged == c.converged
+
+    def test_snd_use_numpy_requires_numpy(self):
+        csr = NucleusSpace(ring_of_cliques(3, 4), 1, 2).to_csr()
+        if not HAVE_NUMPY:
+            with pytest.raises(ValueError):
+                snd_decomposition_csr(csr, use_numpy=True)
+
+    @pytest.mark.parametrize("rs", INSTANCES)
+    def test_peeling_parity(self, any_graph, rs):
+        space = NucleusSpace(any_graph, *rs)
+        a = peeling_decomposition(space, backend="dict")
+        b = peeling_decomposition(space, backend="csr")
+        assert a.kappa == b.kappa
+        # the CSR fast path drives the identical bucket-queue sequence
+        assert a.operations["_peel_order"] == b.operations["_peel_order"]
+        assert a.operations["degree_decrements"] == b.operations["degree_decrements"]
+
+    def test_reference_kappa_counts_match(self, any_graph):
+        space = NucleusSpace(any_graph, 2, 3)
+        exact = peeling_decomposition(space, backend="dict").kappa
+        a = and_decomposition(space, reference_kappa=exact, backend="dict")
+        b = and_decomposition_csr(space.to_csr(), reference_kappa=exact)
+        assert [s.converged_count for s in a.iteration_stats] == [
+            s.converged_count for s in b.iteration_stats
+        ]
+
+    def test_on_iteration_callback(self):
+        space = NucleusSpace(powerlaw_cluster_graph(60, 4, 0.5, seed=2), 2, 3)
+        seen = []
+        and_decomposition_csr(
+            space.to_csr(), on_iteration=lambda it, tau: seen.append((it, list(tau)))
+        )
+        assert [it for it, _ in seen] == list(range(1, len(seen) + 1))
+        trailing = seen[-1][1]
+        exact = peeling_decomposition(space, backend="dict").kappa
+        assert trailing == exact
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        csr = NucleusSpace(Graph(), 1, 2).to_csr()
+        csr.validate()
+        assert len(csr) == 0
+        assert and_decomposition_csr(csr).kappa == []
+        assert snd_decomposition_csr(csr, use_numpy=False).kappa == []
+        if HAVE_NUMPY:
+            assert snd_decomposition_csr(csr, use_numpy=True).kappa == []
+
+    def test_isolated_vertices(self):
+        graph = Graph(edges=[(0, 1)], vertices=[0, 1, 2, 3])
+        space = NucleusSpace(graph, 1, 2)
+        csr = space.to_csr()
+        ref = and_decomposition(space, backend="dict")
+        assert and_decomposition_csr(csr).kappa == ref.kappa
+
+    def test_triangle_graph(self, triangle_graph):
+        for rs in [(1, 2), (2, 3)]:
+            space = NucleusSpace(triangle_graph, *rs)
+            ref = peeling_decomposition(space, backend="dict")
+            assert and_decomposition_csr(space.to_csr()).kappa == ref.kappa
+
+    def test_csr_constructor_validates_rs(self):
+        with pytest.raises(ValueError):
+            CSRSpace(2, 2, [], [0], [], [0], [])

@@ -8,7 +8,7 @@ from repro.core.densest import (
     charikar_densest_subgraph,
     max_core_subgraph,
 )
-from repro.graph.generators import complete_graph, planted_clique_graph
+from repro.graph.generators import complete_graph
 from repro.graph.graph import Graph
 
 

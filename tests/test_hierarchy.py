@@ -71,7 +71,7 @@ class TestCoreHierarchy:
         result = peeling_decomposition(space)
         hierarchy = build_hierarchy(space, result)
         root_density = max(hierarchy.density_of(r.node_id) for r in hierarchy.roots())
-        leaf_density = max(hierarchy.density_of(l.node_id) for l in hierarchy.leaves())
+        leaf_density = max(hierarchy.density_of(leaf.node_id) for leaf in hierarchy.leaves())
         assert leaf_density >= root_density
         densest_leaf = max(
             hierarchy.leaves(), key=lambda n: hierarchy.density_of(n.node_id)

@@ -5,8 +5,6 @@ graph, run a decomposition, extract the hierarchy, estimate a handful of
 queries, and compare against the exact answer.
 """
 
-import pytest
-
 from repro import (
     Graph,
     and_decomposition,

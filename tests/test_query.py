@@ -4,8 +4,7 @@ import pytest
 
 from repro.core.peeling import peeling_decomposition
 from repro.core.query import estimate_local_indices, query_accuracy
-from repro.core.space import NucleusSpace
-from repro.graph.generators import complete_graph, powerlaw_cluster_graph
+from repro.graph.generators import complete_graph
 from repro.graph.graph import Graph
 
 

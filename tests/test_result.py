@@ -5,7 +5,6 @@ import pytest
 from repro.core.decomposition import core_decomposition
 from repro.core.result import DecompositionResult, IterationStats
 from repro.core.space import NucleusSpace
-from repro.graph.generators import ring_of_cliques
 
 
 @pytest.fixture

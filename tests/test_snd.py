@@ -5,7 +5,7 @@ import pytest
 from repro.core.peeling import peeling_decomposition
 from repro.core.snd import snd_decomposition, snd_iterations
 from repro.core.space import NucleusSpace
-from repro.graph.generators import complete_graph, powerlaw_cluster_graph
+from repro.graph.generators import complete_graph
 from repro.graph.graph import Graph
 
 

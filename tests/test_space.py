@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.space import NucleusSpace
 from repro.graph.cliques import count_k_cliques
-from repro.graph.generators import complete_graph
 from repro.graph.graph import Graph
 from repro.graph.triangles import edge_triangle_counts
 
@@ -44,6 +43,22 @@ class TestVertexEdgeSpace:
         i = space.index_of((5,))
         assert space.s_degree(i) == 0
         assert space.contexts(i) == []
+
+    def test_integer_vertices_index_in_numeric_order(self):
+        # Regression: sorting vertices by repr() put 10 before 2, so integer-
+        # labelled graphs got a surprising (1, 2) clique order.  The sort key
+        # is now type-stable and numeric within a type.
+        g = Graph(vertices=[12, 10, 2, 0, 7, 1, 11])
+        space = NucleusSpace(g, 1, 2)
+        assert space.cliques == [(0,), (1,), (2,), (7,), (10,), (11,), (12,)]
+
+    def test_mixed_type_vertices_still_build(self):
+        g = Graph(edges=[(1, "b"), ("b", 2), (2, 10)])
+        space = NucleusSpace(g, 1, 2)
+        space.validate()
+        # integers sort numerically within their type group
+        ints = [c[0] for c in space.cliques if isinstance(c[0], int)]
+        assert ints == sorted(ints)
 
 
 class TestEdgeTriangleSpace:

@@ -3,7 +3,7 @@
 import networkx as nx
 import pytest
 
-from repro.graph.generators import complete_graph, powerlaw_cluster_graph
+from repro.graph.generators import complete_graph
 from repro.graph.graph import Graph, canonical_edge
 from repro.graph.triangles import (
     count_triangles,
