@@ -5,12 +5,35 @@ dynamic scheduling) and the partially parallel peeling baseline at 1/4/6/12/24
 threads.  The reproduced shape: local algorithms keep scaling and beat
 peeling, and dynamic scheduling dominates static when the per-clique work is
 skewed.
+
+Since the shared-memory process pool landed, the experiment also has a
+*measured* series: real wall-clock times of the multi-process SND runner at
+1/2/4 workers.  κ parity across worker counts is always asserted; the hard
+speedup target is only asserted when the machine actually has the cores
+(single-shot timings on shared single-core CI runners measure scheduling
+noise, not scaling).
 """
 
-from repro.experiments.scalability import format_scalability, run_scalability
+import os
+
+from repro.experiments.scalability import (
+    format_measured_scalability,
+    format_scalability,
+    run_measured_scalability,
+    run_scalability,
+)
 
 DATASETS = ("fb", "tw", "sse")
 THREADS = (1, 4, 6, 12, 24)
+WORKER_COUNTS = (1, 2, 4)
+MEASURED_TARGET = 2.0  # speedup at 4 workers, asserted only with >= 4 cores
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def test_fig8_truss_scalability(benchmark):
@@ -27,6 +50,35 @@ def test_fig8_truss_scalability(benchmark):
         if row["threads"] >= 4:
             assert row["local_vs_peeling"] >= 1.0
             assert row["local_dynamic_speedup"] >= row["local_static_speedup"] - 1e-9
+
+
+def test_fig8_measured_process_scalability(smoke_mode, bench_record):
+    rows = run_measured_scalability(
+        ("tw",),
+        2,
+        3,
+        worker_counts=WORKER_COUNTS,
+        algorithm="snd",
+        repeats=1 if smoke_mode else 3,
+    )
+    print()
+    print(format_measured_scalability(rows))
+    by_workers = {row["workers"]: row for row in rows}
+    for workers, row in by_workers.items():
+        bench_record(
+            name="fig8_measured_snd",
+            workers=workers,
+            seconds=row["seconds"],
+            speedup=row["speedup"],
+            cpus=_available_cpus(),
+            smoke=smoke_mode,
+        )
+    assert by_workers[1]["speedup"] == 1.0
+    if not smoke_mode and _available_cpus() >= 4:
+        assert by_workers[4]["speedup"] >= MEASURED_TARGET, (
+            f"process-pool speedup {by_workers[4]['speedup']:.2f}x at 4 workers "
+            f"below the {MEASURED_TARGET}x target"
+        )
 
 
 def test_fig8_core_scalability(benchmark):

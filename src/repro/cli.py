@@ -38,7 +38,12 @@ from repro.experiments.plateaus import (
 from repro.experiments.quality_metric import format_quality_metric, run_quality_metric
 from repro.experiments.query_driven import format_query_driven, run_query_driven_suite
 from repro.experiments.runtime import format_runtime_comparison, run_runtime_comparison
-from repro.experiments.scalability import format_scalability, run_scalability
+from repro.experiments.scalability import (
+    format_measured_scalability,
+    format_scalability,
+    run_measured_scalability,
+    run_scalability,
+)
 from repro.experiments.tradeoff import format_tradeoff, run_tradeoff
 
 __all__ = ["main", "build_parser"]
@@ -72,6 +77,26 @@ def build_parser() -> argparse.ArgumentParser:
     scal = sub.add_parser("scalability", help="Figure 1b/8: speedup vs threads")
     scal.add_argument("--datasets", nargs="+", default=list(MEDIUM_DATASETS))
     scal.add_argument("--threads", nargs="+", type=int, default=[1, 4, 6, 12, 24])
+    scal.add_argument(
+        "--measured",
+        action="store_true",
+        help="time the real shared-memory process pool instead of the "
+        "deterministic scheduling cost model",
+    )
+    scal.add_argument(
+        "--workers",
+        nargs="+",
+        type=int,
+        default=[1, 2, 4],
+        help="worker-process counts for --measured (speedup is relative to "
+        "the first count)",
+    )
+    scal.add_argument(
+        "--algorithm",
+        choices=["snd", "and"],
+        default="snd",
+        help="local algorithm timed by --measured",
+    )
 
     runt = sub.add_parser("runtime", help="Figure 7: peeling vs SND vs AND")
     runt.add_argument("--datasets", nargs="+", default=list(SMALL_DATASETS))
@@ -101,6 +126,20 @@ def build_parser() -> argparse.ArgumentParser:
         "NucleusSpace ('dict'), flat CSR int arrays ('csr'), or size-based "
         "selection ('auto', the default); kappa is identical either way",
     )
+    dec.add_argument(
+        "--parallel",
+        choices=["thread", "process"],
+        default=None,
+        help="run the local algorithms on a pool: 'process' shares the CSR "
+        "buffers across worker processes (real multi-core), 'thread' is the "
+        "GIL-bound correctness-check pool (snd only)",
+    )
+    dec.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker count for --parallel (default 4)",
+    )
     dec.add_argument("--hierarchy", action="store_true", help="print the nucleus hierarchy")
 
     return parser
@@ -127,7 +166,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         print(format_notification_savings(run_notification_savings(args.dataset)))
     elif args.command == "scalability":
-        print(format_scalability(run_scalability(args.datasets, thread_counts=args.threads)))
+        if args.measured:
+            print(
+                format_measured_scalability(
+                    run_measured_scalability(
+                        args.datasets,
+                        worker_counts=args.workers,
+                        algorithm=args.algorithm,
+                    )
+                )
+            )
+        else:
+            print(format_scalability(run_scalability(args.datasets, thread_counts=args.threads)))
     elif args.command == "runtime":
         print(format_runtime_comparison(run_runtime_comparison(args.datasets)))
     elif args.command == "tradeoff":
@@ -145,9 +195,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _run_decompose(args: argparse.Namespace) -> None:
     graph = load_dataset(args.dataset)
-    space = NucleusSpace(graph, args.r, args.s)
+    # --hierarchy needs the dict space anyway, so build it once and share it
+    # with the decomposition; otherwise the graph goes in directly so
+    # backend="csr" (and the parallel modes) can construct the flat space
+    # without the dict detour
+    space = NucleusSpace(graph, args.r, args.s) if args.hierarchy else None
     result = nucleus_decomposition(
-        space, algorithm=args.algorithm, backend=args.backend
+        space if space is not None else graph,
+        args.r,
+        args.s,
+        algorithm=args.algorithm,
+        backend=args.backend,
+        parallel=args.parallel,
+        workers=args.workers if args.parallel else None,
     )
     print(result.summary())
     histogram_rows = [

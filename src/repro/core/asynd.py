@@ -17,8 +17,7 @@ from typing import Callable, List, Optional, Sequence, Union
 from repro.core.csr import (
     CSRSpace,
     and_decomposition_csr,
-    resolve_backend,
-    resolve_space,
+    resolve_space_for_backend,
 )
 from repro.core.hindex import h_index, sustains_h
 from repro.core.result import DecompositionResult, IterationStats
@@ -124,8 +123,8 @@ def and_decomposition(
         either way (the test-suite asserts it); only speed and the
         operation counters differ.
     """
-    space = resolve_space(source, r, s)
-    if resolve_backend(backend, space) == "csr":
+    space, resolved = resolve_space_for_backend(source, r, s, backend)
+    if resolved == "csr":
         return and_decomposition_csr(
             space,
             order=order,

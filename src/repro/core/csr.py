@@ -31,12 +31,17 @@ asserts property-style.
 from __future__ import annotations
 
 from array import array
+from bisect import bisect_left
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from itertools import combinations
 
 from repro.core.hindex import h_index
 from repro.core.result import DecompositionResult, IterationStats
 from repro.core.space import NucleusSpace, _binomial
-from repro.graph.graph import Graph
+from repro.graph.cliques import canonical_clique, enumerate_k_cliques
+from repro.graph.graph import Graph, sorted_vertices
+from repro.graph.triangles import degeneracy_ordering
 
 try:  # numpy is an optional extra; every code path has a pure-Python fallback
     import numpy as _np
@@ -51,6 +56,8 @@ __all__ = [
     "resolve_backend",
     "and_decomposition_csr",
     "snd_decomposition_csr",
+    "chunk_ranges",
+    "weighted_ranges",
 ]
 
 HAVE_NUMPY = _np is not None
@@ -139,6 +146,93 @@ class CSRSpace:
         obj.s = space.s
         obj.stride = stride
         obj.cliques = list(space.cliques)
+        obj.ctx_offsets = ctx_offsets
+        obj.ctx_members = ctx_members
+        obj.nbr_offsets = nbr_offsets
+        obj.nbr_members = nbr_members
+        obj._inverse = None
+        return obj
+
+    @classmethod
+    def from_graph(cls, graph: Graph, r: int, s: int) -> "CSRSpace":
+        """Build the CSR space of ``graph`` directly, without a NucleusSpace.
+
+        The dict-of-tuples :class:`NucleusSpace` is convenient for reference
+        semantics but expensive to materialise (per-context tuples, per-clique
+        neighbour sets) only to be flattened again by :meth:`from_space`.
+        This constructor goes straight from the graph to the flat arrays:
+
+        * **(1, 2)** — vertices and edges, no enumeration machinery at all;
+        * **(2, 3)** — edges plus oriented degeneracy-order triangle listing
+          (one degeneracy ordering shared by the edge indexing and the
+          triangle enumeration, where the dict path computes it twice);
+        * **(3, 4)** — triangles plus oriented 4-clique listing over the same
+          orientation;
+        * **generic r < s** — the shared k-clique enumerator for both levels.
+
+        The clique indexing is identical to ``NucleusSpace(graph, r, s)``
+        (same enumeration order, same canonical tuples), so κ arrays computed
+        on either representation are directly comparable, and the context /
+        neighbour structure matches :meth:`from_space` exactly.
+        """
+        if r < 1 or s <= r:
+            raise ValueError(f"need 1 <= r < s, got r={r}, s={s}")
+        if (r, s) == (1, 2):
+            cliques, groups = _incidence_vertex_edge(graph)
+        elif (r, s) == (2, 3):
+            cliques, groups = _incidence_edge_triangle(graph)
+        elif (r, s) == (3, 4):
+            cliques, groups = _incidence_triangle_four_clique(graph)
+        else:
+            cliques, groups = _incidence_generic(graph, r, s)
+        return cls._from_incidence(r, s, cliques, groups)
+
+    @classmethod
+    def _from_incidence(
+        cls, r: int, s: int, cliques: List[Clique], groups: array
+    ) -> "CSRSpace":
+        """Assemble the CSR arrays from the flat s-clique membership groups.
+
+        ``groups`` holds one group of ``C(s, r)`` r-clique indices per
+        s-clique (the sub-cliques in ``combinations`` order, matching the
+        context layout of :class:`NucleusSpace`).  Two passes: count contexts
+        per owner to place the offsets, then scatter the "other members" of
+        every group into the preallocated ``ctx_members``.
+        """
+        n = len(cliques)
+        group_size = _binomial(s, r)
+        stride = group_size - 1
+        num_s = len(groups) // group_size if group_size else 0
+        counts = [0] * n
+        for m in groups:
+            counts[m] += 1
+        ctx_offsets = array("q", bytes(8 * (n + 1)))
+        for i in range(n):
+            ctx_offsets[i + 1] = ctx_offsets[i] + counts[i]
+        ctx_members = array("q", bytes(8 * ctx_offsets[n] * stride))
+        cursor = list(ctx_offsets[:n])
+        for g in range(num_s):
+            base = g * group_size
+            group = groups[base:base + group_size]
+            for i in range(group_size):
+                slot = cursor[group[i]]
+                cursor[group[i]] = slot + 1
+                k = slot * stride
+                for j in range(group_size):
+                    if j != i:
+                        ctx_members[k] = group[j]
+                        k += 1
+        nbr_offsets = array("q", bytes(8 * (n + 1)))
+        nbr_members = array("q")
+        for i in range(n):
+            row = sorted(set(ctx_members[ctx_offsets[i] * stride:ctx_offsets[i + 1] * stride]))
+            nbr_members.extend(row)
+            nbr_offsets[i + 1] = nbr_offsets[i] + len(row)
+        obj = cls.__new__(cls)
+        obj.r = r
+        obj.s = s
+        obj.stride = stride
+        obj.cliques = cliques
         obj.ctx_offsets = ctx_offsets
         obj.ctx_members = ctx_members
         obj.nbr_offsets = nbr_offsets
@@ -283,6 +377,113 @@ class CSRSpace:
 
 
 # ----------------------------------------------------------------------
+# direct-from-graph incidence enumeration
+# ----------------------------------------------------------------------
+def _oriented_forward(graph: Graph):
+    """Degeneracy order plus rank-sorted forward adjacency lists.
+
+    One orientation pass serves the edge indexing, the triangle listing and
+    the 4-clique listing of :meth:`CSRSpace.from_graph`; iterating forward
+    neighbourhoods in rank order reproduces the exact enumeration sequence of
+    :func:`repro.graph.cliques.enumerate_k_cliques`, which keeps the clique
+    indexing identical to the :class:`NucleusSpace` construction path.
+    """
+    order = degeneracy_ordering(graph)
+    rank = {v: i for i, v in enumerate(order)}
+    forward = {v: [] for v in order}
+    for u, v in graph.edges():
+        if rank[u] < rank[v]:
+            forward[u].append(v)
+        else:
+            forward[v].append(u)
+    for v in forward:
+        forward[v].sort(key=lambda x: rank[x])
+    return order, forward
+
+
+def _incidence_vertex_edge(graph: Graph):
+    """(1, 2): r-cliques are vertices, s-cliques are edges."""
+    cliques = [(v,) for v in sorted_vertices(graph.vertices())]
+    index = {c[0]: i for i, c in enumerate(cliques)}
+    groups = array("q")
+    append = groups.append
+    for u, v in graph.edges():
+        append(index[u])
+        append(index[v])
+    return cliques, groups
+
+
+def _incidence_edge_triangle(graph: Graph):
+    """(2, 3): edge ids from the orientation, oriented triangle listing."""
+    order, forward = _oriented_forward(graph)
+    cliques: List[Clique] = []
+    index = {}
+    for u in order:
+        for v in forward[u]:
+            edge = canonical_clique((u, v))
+            index[edge] = len(cliques)
+            cliques.append(edge)
+    groups = array("q")
+    append = groups.append
+    has_edge = graph.has_edge
+    for u in order:
+        out = forward[u]
+        for i, v in enumerate(out):
+            for w in out[i + 1:]:
+                if has_edge(v, w):
+                    a, b, c = canonical_clique((u, v, w))
+                    append(index[(a, b)])
+                    append(index[(a, c)])
+                    append(index[(b, c)])
+    return cliques, groups
+
+
+def _incidence_triangle_four_clique(graph: Graph):
+    """(3, 4): oriented triangle listing, then oriented 4-clique listing."""
+    order, forward = _oriented_forward(graph)
+    has_edge = graph.has_edge
+    cliques: List[Clique] = []
+    index = {}
+    for u in order:
+        out = forward[u]
+        for i, v in enumerate(out):
+            for w in out[i + 1:]:
+                if has_edge(v, w):
+                    tri = canonical_clique((u, v, w))
+                    index[tri] = len(cliques)
+                    cliques.append(tri)
+    groups = array("q")
+    append = groups.append
+    for u in order:
+        out = forward[u]
+        for i, v in enumerate(out):
+            out2 = [x for x in out[i + 1:] if has_edge(v, x)]
+            for j, w in enumerate(out2):
+                for x in out2[j + 1:]:
+                    if has_edge(w, x):
+                        quad = canonical_clique((u, v, w, x))
+                        for tri in combinations(quad, 3):
+                            append(index[tri])
+    return cliques, groups
+
+
+def _incidence_generic(graph: Graph, r: int, s: int):
+    """Any r < s: the shared k-clique enumerator for both levels."""
+    cliques: List[Clique] = []
+    index = {}
+    for clique in enumerate_k_cliques(graph, r):
+        canon = canonical_clique(clique)
+        index[canon] = len(cliques)
+        cliques.append(canon)
+    groups = array("q")
+    append = groups.append
+    for big in enumerate_k_cliques(graph, s):
+        for sub in combinations(canonical_clique(big), r):
+            append(index[sub])
+    return cliques, groups
+
+
+# ----------------------------------------------------------------------
 # backend selection
 # ----------------------------------------------------------------------
 def resolve_backend(
@@ -324,15 +525,43 @@ def resolve_space(
     return NucleusSpace(source, r, s)
 
 
+def resolve_space_for_backend(
+    source: Union[Graph, NucleusSpace, CSRSpace],
+    r: Optional[int],
+    s: Optional[int],
+    backend: str,
+) -> Tuple[Union[NucleusSpace, CSRSpace], str]:
+    """Resolve source and backend together, skipping the dict detour.
+
+    A :class:`Graph` source with ``backend="csr"`` is constructed directly
+    via :meth:`CSRSpace.from_graph` — the :class:`NucleusSpace` is never
+    built.  Every other combination behaves like :func:`resolve_space`
+    followed by :func:`resolve_backend` (``"auto"`` still needs the space to
+    measure its size, so it keeps the dict construction path).
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if isinstance(source, Graph) and backend == "csr":
+        if r is None or s is None:
+            raise ValueError("r and s are required when passing a Graph")
+        return CSRSpace.from_graph(source, r, s), "csr"
+    space = resolve_space(source, r, s)
+    return space, resolve_backend(backend, space)
+
+
 def _as_csr(
     source: Union[Graph, NucleusSpace, CSRSpace],
     r: Optional[int],
     s: Optional[int],
 ) -> CSRSpace:
-    space = resolve_space(source, r, s)
-    if isinstance(space, CSRSpace):
-        return space
-    return space.to_csr()
+    if isinstance(source, Graph):
+        # direct construction: the dict-of-tuples detour is never built
+        if r is None or s is None:
+            raise ValueError("r and s are required when passing a Graph")
+        return CSRSpace.from_graph(source, r, s)
+    if isinstance(source, CSRSpace):
+        return source
+    return source.to_csr()
 
 
 # ----------------------------------------------------------------------
@@ -748,14 +977,62 @@ def _snd_csr_numpy(
 
 
 def chunk_ranges(n: int, num_chunks: int) -> Iterator[Tuple[int, int]]:
-    """Split ``range(n)`` into up to ``num_chunks`` contiguous index ranges.
+    """Split ``range(n)`` into contiguous, balanced, non-empty index ranges.
 
-    Used by the parallel runner to dispatch CSR row ranges instead of
+    Yields exactly ``min(n, num_chunks)`` ranges whose sizes differ by at
+    most one; ``n == 0`` yields nothing.  Empty ranges are never emitted
+    (``n < num_chunks`` simply produces fewer chunks), and the sizes are
+    balanced rather than ceil-sized — the old ceil split could leave the
+    last chunk with a fraction of the others' work (e.g. 10 over 4 chunks
+    gave 3/3/3/1 instead of 3/3/2/2), which turns directly into load
+    imbalance when each chunk is owned by one worker.
+
+    Used by the parallel runners to dispatch CSR row ranges instead of
     per-index tasks: one task per chunk amortises the dispatch overhead over
     many ρ evaluations.
     """
-    if n <= 0 or num_chunks <= 0:
+    if num_chunks < 1:
+        raise ValueError(f"num_chunks must be >= 1, got {num_chunks}")
+    if n <= 0:
         return
-    size = -(-n // num_chunks)  # ceil
-    for lo in range(0, n, size):
-        yield lo, min(lo + size, n)
+    chunks = min(n, num_chunks)
+    base, extra = divmod(n, chunks)
+    lo = 0
+    for c in range(chunks):
+        hi = lo + base + (1 if c < extra else 0)
+        yield lo, hi
+        lo = hi
+
+
+def weighted_ranges(
+    ctx_offsets: Sequence[int], num_chunks: int
+) -> List[Tuple[int, int]]:
+    """Contiguous index ranges balanced by *context count*, not index count.
+
+    ``ctx_offsets`` is the CSR context-offset array (length ``n + 1``); the
+    per-index sweep cost is proportional to the number of contexts, so the
+    chunk boundaries are placed at (approximately) equal cumulative context
+    counts.  Every returned range is non-empty; at most
+    ``min(n, num_chunks)`` ranges are produced.  This is what the
+    process-pool backend uses to assign per-worker chunk ownership.
+    """
+    if num_chunks < 1:
+        raise ValueError(f"num_chunks must be >= 1, got {num_chunks}")
+    n = len(ctx_offsets) - 1
+    if n <= 0:
+        return []
+    chunks = min(n, num_chunks)
+    total = ctx_offsets[n]
+    if total == 0:
+        return list(chunk_ranges(n, chunks))
+    boundaries = [0]
+    for c in range(1, chunks):
+        target = total * c // chunks
+        hi = bisect_left(ctx_offsets, target, boundaries[-1] + 1, n)
+        # keep every chunk non-empty: strictly after the previous boundary,
+        # and leave at least one index for each remaining chunk
+        hi = max(hi, boundaries[-1] + 1)
+        hi = min(hi, n - (chunks - c))
+        boundaries.append(hi)
+    boundaries.append(n)
+    return list(zip(boundaries[:-1], boundaries[1:]))

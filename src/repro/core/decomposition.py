@@ -29,9 +29,13 @@ __all__ = [
     "truss_numbers",
     "ALGORITHMS",
     "BACKENDS",
+    "PARALLEL_MODES",
 ]
 
 ALGORITHMS = ("peeling", "snd", "and")
+
+#: Valid values of the ``parallel=`` parameter (``None`` means serial).
+PARALLEL_MODES = ("thread", "process")
 
 
 def nucleus_decomposition(
@@ -41,6 +45,8 @@ def nucleus_decomposition(
     *,
     algorithm: str = "and",
     backend: str = "auto",
+    parallel: Optional[str] = None,
+    workers: Optional[int] = None,
     **options,
 ) -> DecompositionResult:
     """Compute the (r, s) nucleus decomposition with the chosen algorithm.
@@ -59,7 +65,17 @@ def nucleus_decomposition(
         Space representation the kernels run on: ``"dict"`` (the tuple/set
         :class:`NucleusSpace` structure), ``"csr"`` (flat int arrays, see
         :mod:`repro.core.csr`) or ``"auto"`` (default; CSR for large spaces).
+        A :class:`Graph` source with ``backend="csr"`` is flattened directly
+        by :meth:`CSRSpace.from_graph` — the dict space is never built.
         κ is backend-independent.
+    parallel:
+        ``None`` (serial, the default), ``"thread"`` (SND on a thread pool —
+        correctness checks, no speedup under the GIL) or ``"process"``
+        (SND or AND on the shared-memory process pool of
+        :mod:`repro.parallel.procpool` — the real multi-core path).
+    workers:
+        Worker count for the parallel modes (default 4); requires
+        ``parallel``.
     options:
         Forwarded to the selected algorithm (e.g. ``max_iterations``,
         ``record_history``, ``order``, ``notification``).
@@ -72,22 +88,79 @@ def nucleus_decomposition(
         raise ValueError(
             f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
         )
-    if isinstance(source, (NucleusSpace, CSRSpace)):
-        space = source
-    else:
-        if r is None or s is None:
-            raise ValueError("r and s are required when passing a Graph")
-        space = NucleusSpace(source, r, s)
+    if isinstance(source, Graph) and (r is None or s is None):
+        raise ValueError("r and s are required when passing a Graph")
+
+    if parallel is not None:
+        return _parallel_dispatch(
+            source, r, s, algorithm, backend, parallel, workers, options
+        )
+    if workers is not None:
+        raise ValueError("workers= requires parallel='thread' or 'process'")
 
     if algorithm == "peeling":
         if options:
             raise ValueError(
                 f"peeling accepts no extra options, got {sorted(options)}"
             )
-        return peeling_decomposition(space, backend=backend)
+        return peeling_decomposition(source, r, s, backend=backend)
     if algorithm == "snd":
-        return snd_decomposition(space, backend=backend, **options)
-    return and_decomposition(space, backend=backend, **options)
+        return snd_decomposition(source, r, s, backend=backend, **options)
+    return and_decomposition(source, r, s, backend=backend, **options)
+
+
+def _parallel_dispatch(
+    source: Union[Graph, NucleusSpace, CSRSpace],
+    r: Optional[int],
+    s: Optional[int],
+    algorithm: str,
+    backend: str,
+    parallel: str,
+    workers: Optional[int],
+    options: Dict[str, object],
+) -> DecompositionResult:
+    """Route ``parallel=`` requests to the thread or process runners."""
+    if parallel not in PARALLEL_MODES:
+        raise ValueError(
+            f"unknown parallel mode {parallel!r}; expected one of {PARALLEL_MODES}"
+        )
+    workers = 4 if workers is None else workers
+    if parallel == "thread":
+        if algorithm != "snd":
+            raise ValueError(
+                "parallel='thread' supports algorithm='snd' only "
+                "(the asynchronous schedule needs process-level ownership)"
+            )
+        from repro.parallel.runner import parallel_snd_decomposition
+
+        return parallel_snd_decomposition(
+            source, r, s, num_threads=workers, backend=backend, **options
+        )
+    if algorithm == "peeling":
+        raise ValueError(
+            "parallel execution supports the local algorithms ('snd', 'and'); "
+            "peeling is the sequential baseline"
+        )
+    if backend == "dict":
+        raise ValueError(
+            "parallel='process' runs on the shared CSR buffers; "
+            "backend='dict' cannot be honoured (use 'csr' or 'auto')"
+        )
+    unsupported = sorted(set(options) - {"max_iterations"})
+    if unsupported:
+        raise ValueError(
+            f"parallel='process' supports the max_iterations option only, "
+            f"got {unsupported}"
+        )
+    from repro.parallel.procpool import (
+        process_and_decomposition,
+        process_snd_decomposition,
+    )
+
+    runner = (
+        process_snd_decomposition if algorithm == "snd" else process_and_decomposition
+    )
+    return runner(source, r, s, workers=workers, **options)
 
 
 def core_decomposition(

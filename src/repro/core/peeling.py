@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Union
 
-from repro.core.csr import CSRSpace, resolve_backend, resolve_space
+from repro.core.csr import CSRSpace, resolve_space_for_backend
 from repro.core.result import DecompositionResult
 from repro.core.space import NucleusSpace
 from repro.graph.graph import Graph, sorted_vertices
@@ -111,8 +111,8 @@ def peeling_decomposition(
         decrements performed (the peeling work measure used in the runtime
         experiments).
     """
-    space = resolve_space(source, r, s)
-    if resolve_backend(backend, space) == "csr":
+    space, resolved = resolve_space_for_backend(source, r, s, backend)
+    if resolved == "csr":
         csr = space if isinstance(space, CSRSpace) else space.to_csr()
         return _peeling_csr(csr)
     degrees = space.s_degrees()

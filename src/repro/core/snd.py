@@ -12,8 +12,7 @@ from typing import Callable, List, Optional, Union
 
 from repro.core.csr import (
     CSRSpace,
-    resolve_backend,
-    resolve_space,
+    resolve_space_for_backend,
     snd_decomposition_csr,
 )
 from repro.core.hindex import h_index
@@ -66,8 +65,8 @@ def snd_decomposition(
     -------
     DecompositionResult
     """
-    space = resolve_space(source, r, s)
-    if resolve_backend(backend, space) == "csr":
+    space, resolved = resolve_space_for_backend(source, r, s, backend)
+    if resolved == "csr":
         return snd_decomposition_csr(
             space,
             max_iterations=max_iterations,

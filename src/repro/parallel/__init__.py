@@ -1,36 +1,51 @@
 """Shared-memory parallel execution substrate.
 
 The paper parallelises the local algorithms with OpenMP and studies static vs
-dynamic scheduling.  CPython's GIL makes genuine multi-core speedups for
-pure-Python kernels impossible, so this package provides two complementary
-backends (the substitution is documented in DESIGN.md §3):
+dynamic scheduling.  This package provides three complementary backends:
 
 * :class:`repro.parallel.scheduler.SimulatedScheduler` — a deterministic cost
   model that assigns per-r-clique work to ``p`` virtual threads under static
-  or dynamic scheduling and reports the makespan.  The scalability
+  or dynamic scheduling and reports the makespan.  The simulated scalability
   experiments (E5) are produced from these makespans, which reproduce the
   load-imbalance behaviour the paper discusses.
 * :class:`repro.parallel.scheduler.ThreadPoolBackend` — a real
   ``concurrent.futures`` thread pool used to validate that the SND iteration
-  is safe to execute concurrently (functional correctness, not speed).
+  is safe to execute concurrently (functional correctness; no speedup under
+  the GIL).
+* :class:`repro.parallel.procpool.ProcessPoolBackend` — worker *processes*
+  attached zero-copy to the CSR buffers via ``multiprocessing.shared_memory``:
+  the real multi-core path (SND Jacobi with a double-buffered shared τ, and
+  an asynchronous AND variant with per-chunk τ ownership).
 """
 
+from repro.parallel.procpool import (
+    ProcessPoolBackend,
+    SharedCSRBuffers,
+    process_and_decomposition,
+    process_snd_decomposition,
+)
+from repro.parallel.runner import (
+    PARALLEL_MODES,
+    parallel_snd_decomposition,
+    simulate_local_scalability,
+    simulate_peeling_scalability,
+)
 from repro.parallel.scheduler import (
     ScheduleReport,
     SimulatedScheduler,
     ThreadPoolBackend,
 )
-from repro.parallel.runner import (
-    parallel_snd_decomposition,
-    simulate_local_scalability,
-    simulate_peeling_scalability,
-)
 
 __all__ = [
+    "PARALLEL_MODES",
+    "ProcessPoolBackend",
     "ScheduleReport",
+    "SharedCSRBuffers",
     "SimulatedScheduler",
     "ThreadPoolBackend",
     "parallel_snd_decomposition",
+    "process_and_decomposition",
+    "process_snd_decomposition",
     "simulate_local_scalability",
     "simulate_peeling_scalability",
 ]

@@ -1,0 +1,572 @@
+"""Shared-memory process-pool decomposition over CSR buffers.
+
+The thread-pool runner in :mod:`repro.parallel.runner` proves the chunked
+sweep structure but cannot speed anything up under the GIL.  This module is
+the real multi-core path:
+
+* the flat ``array('q')`` buffers of a :class:`repro.core.csr.CSRSpace` are
+  placed into :mod:`multiprocessing.shared_memory` segments **once** by the
+  parent (:class:`SharedCSRBuffers`);
+* worker processes attach to the segments **zero-copy** (``np.frombuffer`` /
+  ``memoryview.cast`` straight over the shared mapping — no per-worker copy
+  of the space) and sweep contiguous index chunks balanced by context count
+  (:func:`repro.core.csr.weighted_ranges`);
+* **SND** runs synchronous Jacobi rounds over a double-buffered shared τ
+  array: every round reads the previous buffer and writes its own chunk of
+  the next buffer, with a two-phase barrier between rounds (publish
+  per-worker update counts, then agree on convergence);
+* **AND** runs the paper's partitioned asynchronous schedule: each worker
+  *owns* one contiguous chunk of τ, updates it in place Gauss–Seidel style
+  using the freshest own values plus the neighbours' latest published
+  values, and rounds terminate when a whole round publishes zero updates
+  anywhere (the shared converged count);
+* cleanup is unconditional: segments are closed and unlinked in a
+  ``finally`` block on normal exit, worker failure and ``KeyboardInterrupt``
+  alike, and a failing worker aborts the barrier so its peers exit instead
+  of deadlocking.
+
+Both entry points produce κ identical to the serial kernels — byte-for-byte
+for SND (Jacobi is deterministic, so even the iteration count matches) and
+by fixed-point uniqueness for AND — which the test-suite asserts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import secrets
+import sys
+import threading
+import traceback
+from array import array
+from multiprocessing import shared_memory
+from typing import List, Optional, Union
+
+from repro.core.csr import CSRSpace, _as_csr, snd_decomposition_csr, weighted_ranges
+from repro.core.hindex import h_index
+from repro.core.result import DecompositionResult
+from repro.core.space import NucleusSpace
+from repro.graph.graph import Graph
+
+try:  # numpy accelerates the worker sweeps; every path has a fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+__all__ = [
+    "SharedCSRBuffers",
+    "ProcessPoolBackend",
+    "process_snd_decomposition",
+    "process_and_decomposition",
+]
+
+_ITEMSIZE = 8  # array('q') / int64
+
+# meta segment slots (int64): written by worker 0, read by the parent
+_META_ROUNDS = 0
+_META_CONVERGED = 1
+_META_UPDATES = 2
+_META_SLOTS = 3
+
+# test seam: set to an exception instance to make worker 0 fail on entry, or
+# to the string "hard-exit" to make it die without any cleanup (os._exit, as
+# an OOM kill would).  Propagates into fork-started children, letting the
+# lifecycle tests drive the failure paths without patching multiprocessing
+# internals.
+_TEST_WORKER_FAULT = None
+
+
+class SharedCSRBuffers:
+    """Owns a set of named shared-memory segments and guarantees cleanup.
+
+    The parent creates segments (copying each flat buffer into shared memory
+    exactly once); workers attach by name.  :meth:`destroy` closes and
+    unlinks everything and is safe to call twice — it is the single cleanup
+    point the ``finally`` blocks rely on.
+    """
+
+    def __init__(self, prefix: str = "rn") -> None:
+        self.prefix = prefix
+        self._token = f"{prefix}-{os.getpid()}-{secrets.token_hex(3)}"
+        self._segments: List[shared_memory.SharedMemory] = []
+        self.names: dict = {}
+
+    def create(self, tag: str, nbytes: int) -> shared_memory.SharedMemory:
+        """Create a zero-initialised segment of at least ``nbytes`` bytes."""
+        shm = shared_memory.SharedMemory(
+            name=f"{self._token}-{tag}", create=True, size=max(1, nbytes)
+        )
+        self._segments.append(shm)
+        self.names[tag] = shm.name
+        return shm
+
+    def create_from(self, tag: str, data: array) -> shared_memory.SharedMemory:
+        """Create a segment holding a copy of an ``array('q')`` buffer."""
+        raw = data.tobytes()
+        shm = self.create(tag, len(raw))
+        shm.buf[:len(raw)] = raw
+        return shm
+
+    def get(self, tag: str) -> shared_memory.SharedMemory:
+        """Return the (parent-side) segment created under ``tag``."""
+        name = self.names[tag]
+        return next(seg for seg in self._segments if seg.name == name)
+
+    def nbytes(self) -> int:
+        return sum(seg.size for seg in self._segments)
+
+    def destroy(self) -> None:
+        """Close and unlink every segment (idempotent, never raises)."""
+        for seg in self._segments:
+            try:
+                seg.close()
+            except (OSError, BufferError):
+                pass  # a live view pins the mapping; unlinking still works
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                pass  # already unlinked (e.g. destroy called twice)
+        self._segments = []
+
+
+def _attach(name: str, attached: List[shared_memory.SharedMemory]):
+    """Attach to a named segment created by the parent.
+
+    Workers spawned through :mod:`multiprocessing` inherit the parent's
+    resource tracker, so the attach-side registration dedups against the
+    parent's own (the tracker cache is a set) and the parent's ``unlink``
+    remains the single deregistration — no extra bookkeeping needed.
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    attached.append(shm)
+    return shm
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _worker_main(spec: dict, barrier, errq) -> None:
+    """Entry point of one worker process (SND or AND, by ``spec['kind']``)."""
+    attached: List[shared_memory.SharedMemory] = []
+    try:
+        if _TEST_WORKER_FAULT is not None and spec["wid"] == 0:
+            if _TEST_WORKER_FAULT == "hard-exit":
+                os._exit(9)
+            raise _TEST_WORKER_FAULT
+        if spec["kind"] == "snd":
+            _snd_worker(spec, barrier, attached)
+        else:
+            _and_worker(spec, barrier, attached)
+    except threading.BrokenBarrierError:
+        # a peer failed (abort) or vanished (timeout); the nonzero exit code
+        # tells the parent this run produced no trustworthy result
+        sys.exit(3)
+    except BaseException:
+        errq.put((spec["wid"], traceback.format_exc()))
+        barrier.abort()  # unblock peers waiting on the round barrier
+    finally:
+        for shm in attached:
+            try:
+                shm.close()
+            except BufferError:
+                # live views (memoryview casts / numpy frombuffer) pin the
+                # mapping; process exit unmaps it regardless, and the parent
+                # still unlinks the name
+                pass
+
+
+def _round_sync(barrier, counts_mv, wid: int, updated: int, timeout: float) -> int:
+    """Two-phase round barrier; returns the global update count.
+
+    Phase one publishes this worker's count and waits for everyone, phase
+    two keeps peers from starting the next round (and overwriting the
+    counts) before all of them have read the total.
+    """
+    counts_mv[wid] = updated
+    barrier.wait(timeout)
+    total = sum(counts_mv)
+    barrier.wait(timeout)
+    return total
+
+
+def _snd_worker(spec: dict, barrier, attached) -> None:
+    """Jacobi SND sweeps over one chunk with a double-buffered shared τ."""
+    names = spec["names"]
+    n = spec["n"]
+    stride = spec["stride"]
+    lo, hi = spec["bounds"]
+    wid = spec["wid"]
+    max_rounds = spec["max_iterations"]
+    timeout = spec["barrier_timeout"]
+
+    off_shm = _attach(names["ctx_offsets"], attached)
+    cm_shm = _attach(names["ctx_members"], attached)
+    tau_shm = [_attach(names["tau_a"], attached), _attach(names["tau_b"], attached)]
+    counts_mv = memoryview(_attach(names["counts"], attached).buf).cast("q")
+    meta_mv = memoryview(_attach(names["meta"], attached).buf).cast("q")
+
+    ctx_off = memoryview(off_shm.buf).cast("q")
+    use_numpy = _np is not None
+    if use_numpy:
+        tau_views = [_np.frombuffer(s.buf, dtype=_np.int64, count=n) for s in tau_shm]
+        sweep = _make_numpy_sweep(cm_shm, off_shm, n, stride, lo, hi)
+    else:
+        tau_views = [memoryview(s.buf).cast("q") for s in tau_shm]
+        cm = memoryview(cm_shm.buf).cast("q")
+
+    rounds = 0
+    cur = 0
+    converged = False
+    updates_total = 0
+    while True:
+        if max_rounds is not None and rounds >= max_rounds:
+            break
+        prev, nxt = tau_views[cur], tau_views[1 - cur]
+        if use_numpy:
+            updated = sweep(prev, nxt)
+        else:
+            updated = _sweep_snd_python(ctx_off, cm, stride, prev, nxt, lo, hi)
+        total = _round_sync(barrier, counts_mv, wid, updated, timeout)
+        updates_total += total
+        rounds += 1
+        cur = 1 - cur
+        if total == 0:
+            converged = True
+            break
+    if wid == 0:
+        meta_mv[_META_ROUNDS] = rounds
+        meta_mv[_META_CONVERGED] = 1 if converged else 0
+        meta_mv[_META_UPDATES] = updates_total
+
+
+def _make_numpy_sweep(cm_shm, off_shm, n: int, stride: int, lo: int, hi: int):
+    """Vectorised chunk sweep: per-context minima + segment h-index.
+
+    All large inputs are zero-copy views over the shared segments; only the
+    O(chunk contexts) segment bookkeeping (seg ids / in-segment positions)
+    is worker-local scratch.
+    """
+    ctx_off = _np.frombuffer(off_shm.buf, dtype=_np.int64, count=n + 1)
+    lo_c, hi_c = int(ctx_off[lo]), int(ctx_off[hi])
+    members = _np.frombuffer(
+        cm_shm.buf, dtype=_np.int64, count=int(ctx_off[n]) * stride
+    )
+    mem2d = members[lo_c * stride:hi_c * stride].reshape(hi_c - lo_c, stride)
+    offs = ctx_off[lo:hi + 1]
+    degrees = offs[1:] - offs[:-1]
+    seg_ids = _np.repeat(_np.arange(hi - lo, dtype=_np.int64), degrees)
+    pos_in_seg = _np.arange(hi_c - lo_c, dtype=_np.int64) - _np.repeat(
+        offs[:-1] - lo_c, degrees
+    )
+
+    def sweep(prev, nxt) -> int:
+        if hi_c > lo_c:
+            rho = prev[mem2d].min(axis=1)
+            order = _np.lexsort((-rho, seg_ids))
+            qualifies = rho[order] >= pos_in_seg + 1
+            new = _np.bincount(seg_ids[qualifies], minlength=hi - lo)
+        else:
+            new = _np.zeros(hi - lo, dtype=_np.int64)
+        updated = int((new != prev[lo:hi]).sum())
+        nxt[lo:hi] = new
+        return updated
+
+    return sweep
+
+
+def _sweep_snd_python(ctx_off, cm, stride, prev, nxt, lo: int, hi: int) -> int:
+    """Pure-Python chunk sweep reading straight from the shared buffers."""
+    previous = prev.tolist()  # value snapshot of the frozen round buffer
+    updated = 0
+    for i in range(lo, hi):
+        rho_values = []
+        append = rho_values.append
+        for c in range(ctx_off[i], ctx_off[i + 1]):
+            b = c * stride
+            v = previous[cm[b]]
+            for j in range(b + 1, b + stride):
+                w = previous[cm[j]]
+                if w < v:
+                    v = w
+            append(v)
+        new_value = h_index(rho_values)
+        nxt[i] = new_value
+        if new_value != previous[i]:
+            updated += 1
+    return updated
+
+
+def _and_worker(spec: dict, barrier, attached) -> None:
+    """Asynchronous AND rounds over one *owned* chunk of a single shared τ.
+
+    The worker is the only writer of ``τ[lo:hi]``; within a round it applies
+    updates in place (Gauss–Seidel over its own chunk) while neighbours in
+    other chunks are read at their latest published value (snapshotted at
+    round start — any published value is valid because τ only decreases).
+    A round in which *no* worker publishes an update is a global fixed
+    point, detected via the shared per-worker counts.
+    """
+    names = spec["names"]
+    n = spec["n"]
+    stride = spec["stride"]
+    lo, hi = spec["bounds"]
+    wid = spec["wid"]
+    max_rounds = spec["max_iterations"]
+    timeout = spec["barrier_timeout"]
+
+    ctx_off = memoryview(_attach(names["ctx_offsets"], attached).buf).cast("q")
+    cm = memoryview(_attach(names["ctx_members"], attached).buf).cast("q")
+    tau_mv = memoryview(_attach(names["tau_a"], attached).buf).cast("q")
+    counts_mv = memoryview(_attach(names["counts"], attached).buf).cast("q")
+    meta_mv = memoryview(_attach(names["meta"], attached).buf).cast("q")
+
+    rounds = 0
+    converged = False
+    updates_total = 0
+    while True:
+        if max_rounds is not None and rounds >= max_rounds:
+            break
+        tau = tau_mv.tolist()  # latest published values (own chunk = freshest)
+        updated = 0
+        for i in range(lo, hi):
+            current = tau[i]
+            if current == 0:
+                continue  # τ is non-increasing: settled for good
+            rho_values = []
+            append = rho_values.append
+            for c in range(ctx_off[i], ctx_off[i + 1]):
+                b = c * stride
+                v = tau[cm[b]]
+                for j in range(b + 1, b + stride):
+                    w = tau[cm[j]]
+                    if w < v:
+                        v = w
+                append(v)
+            new_value = h_index(rho_values)
+            if new_value != current:
+                tau[i] = new_value
+                tau_mv[i] = new_value  # publish immediately
+                updated += 1
+        total = _round_sync(barrier, counts_mv, wid, updated, timeout)
+        updates_total += total
+        rounds += 1
+        if total == 0:
+            converged = True
+            break
+    if wid == 0:
+        meta_mv[_META_ROUNDS] = rounds
+        meta_mv[_META_CONVERGED] = 1 if converged else 0
+        meta_mv[_META_UPDATES] = updates_total
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+class ProcessPoolBackend:
+    """Multi-core decomposition runner over shared CSR buffers.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (clamped to the number of r-cliques;
+        chunk ownership needs at least one index per worker).
+    start_method:
+        ``multiprocessing`` start method; defaults to ``"fork"`` where
+        available (cheapest — the CSR arrays are shared either way).
+    barrier_timeout:
+        Safety net: how long a worker waits at a round barrier before
+        treating the pool as broken.  Prevents a hard-killed peer from
+        deadlocking the survivors.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        *,
+        start_method: Optional[str] = None,
+        barrier_timeout: float = 600.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if start_method is None and "fork" in mp.get_all_start_methods():
+            start_method = "fork"
+        self.workers = workers
+        self.barrier_timeout = barrier_timeout
+        self._ctx = mp.get_context(start_method)
+
+    # ------------------------------------------------------------------
+    def run_snd(
+        self, space: CSRSpace, *, max_iterations: Optional[int] = None
+    ) -> DecompositionResult:
+        """SND Jacobi over the pool; κ, iterations match the serial kernel."""
+        return self._run("snd", space, max_iterations)
+
+    def run_and(
+        self, space: CSRSpace, *, max_iterations: Optional[int] = None
+    ) -> DecompositionResult:
+        """Asynchronous AND with per-chunk τ ownership; κ matches serial."""
+        return self._run("and", space, max_iterations)
+
+    # ------------------------------------------------------------------
+    def _run(
+        self, kind: str, space: CSRSpace, max_iterations: Optional[int]
+    ) -> DecompositionResult:
+        n = len(space)
+        algorithm = f"{kind}-process"
+        if n == 0:
+            result = snd_decomposition_csr(space, max_iterations=max_iterations)
+            result.algorithm = algorithm
+            result.operations = {"workers": 0, "parallel": "process", "backend": "csr"}
+            return result
+
+        ranges = weighted_ranges(space.ctx_offsets, self.workers)
+        num_workers = len(ranges)
+        degrees = array("q", [
+            space.ctx_offsets[i + 1] - space.ctx_offsets[i] for i in range(n)
+        ])
+
+        arena = SharedCSRBuffers()
+        procs: List = []
+        try:
+            arena.create_from("ctx_offsets", space.ctx_offsets)
+            arena.create_from("ctx_members", space.ctx_members)
+            arena.create_from("tau_a", degrees)
+            if kind == "snd":
+                arena.create("tau_b", n * _ITEMSIZE)
+            arena.create("counts", num_workers * _ITEMSIZE)
+            meta = arena.create("meta", _META_SLOTS * _ITEMSIZE)
+
+            shared_nbytes = arena.nbytes()
+            barrier = self._ctx.Barrier(num_workers)
+            errq = self._ctx.SimpleQueue()
+            names = dict(arena.names)
+            for wid, bounds in enumerate(ranges):
+                spec = {
+                    "kind": kind,
+                    "names": names,
+                    "n": n,
+                    "stride": space.stride,
+                    "bounds": bounds,
+                    "wid": wid,
+                    "max_iterations": max_iterations,
+                    "barrier_timeout": self.barrier_timeout,
+                }
+                proc = self._ctx.Process(
+                    target=_worker_main, args=(spec, barrier, errq), daemon=True
+                )
+                proc.start()
+                procs.append(proc)
+
+            self._wait(procs)
+            if not errq.empty():
+                wid, tb = errq.get()
+                raise RuntimeError(
+                    f"process-pool worker {wid} failed:\n{tb}"
+                )
+            bad = [p.exitcode for p in procs if p.exitcode != 0]
+            if bad:
+                raise RuntimeError(
+                    f"process-pool workers died with exit codes {bad}"
+                )
+
+            # copy results out with bytes() so no view outlives the segments
+            # (SharedMemory.close refuses to run with exported pointers)
+            meta_arr = array("q")
+            meta_arr.frombytes(bytes(meta.buf[:_META_SLOTS * _ITEMSIZE]))
+            rounds = meta_arr[_META_ROUNDS]
+            converged = bool(meta_arr[_META_CONVERGED])
+            updates_total = meta_arr[_META_UPDATES]
+            final_tag = "tau_a" if kind == "and" or rounds % 2 == 0 else "tau_b"
+            kappa_arr = array("q")
+            kappa_arr.frombytes(bytes(arena.get(final_tag).buf[:n * _ITEMSIZE]))
+            kappa = kappa_arr.tolist()
+        finally:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+                p.join()
+            arena.destroy()
+
+        return DecompositionResult.from_space(
+            space,
+            algorithm=algorithm,
+            kappa=kappa,
+            iterations=rounds,
+            converged=converged,
+            operations={
+                "workers": num_workers,
+                "parallel": "process",
+                "backend": "csr",
+                "chunks": num_workers,
+                "updates": updates_total,
+                "shared_nbytes": shared_nbytes,
+            },
+        )
+
+    def _wait(self, procs) -> None:
+        """Join all workers, reacting promptly to abnormal deaths.
+
+        A worker that dies without running its exception handler (OOM kill,
+        ``os._exit``) never aborts the barrier, so its peers would sit in
+        ``barrier.wait`` until the safety timeout.  Polling the exit codes
+        lets the parent terminate the survivors within the poll interval
+        instead of stalling the whole run.  (Separate method so tests can
+        inject interrupts.)
+        """
+        pending = list(procs)
+        while pending:
+            for p in list(pending):
+                p.join(timeout=0.05)
+                if p.exitcode is None:
+                    continue
+                pending.remove(p)
+                if p.exitcode != 0:
+                    # a peer failed; anyone still sweeping may be blocked at
+                    # the round barrier — stop them now, the result is void
+                    for q in pending:
+                        q.terminate()
+                    for q in pending:
+                        q.join()
+                    return
+
+
+def process_snd_decomposition(
+    source: Union[Graph, NucleusSpace, CSRSpace],
+    r: Optional[int] = None,
+    s: Optional[int] = None,
+    *,
+    workers: int = 4,
+    max_iterations: Optional[int] = None,
+    start_method: Optional[str] = None,
+) -> DecompositionResult:
+    """SND on a process pool sharing the CSR buffers across workers.
+
+    A :class:`Graph` source is flattened directly with
+    :meth:`CSRSpace.from_graph` (no dict-space detour).  κ and the iteration
+    count are identical to :func:`repro.core.snd.snd_decomposition` — the
+    synchronous schedule is deterministic regardless of how many workers
+    sweep it.
+    """
+    space = _as_csr(source, r, s)
+    backend = ProcessPoolBackend(workers, start_method=start_method)
+    return backend.run_snd(space, max_iterations=max_iterations)
+
+
+def process_and_decomposition(
+    source: Union[Graph, NucleusSpace, CSRSpace],
+    r: Optional[int] = None,
+    s: Optional[int] = None,
+    *,
+    workers: int = 4,
+    max_iterations: Optional[int] = None,
+    start_method: Optional[str] = None,
+) -> DecompositionResult:
+    """Asynchronous AND on a process pool with per-chunk τ ownership.
+
+    Each worker owns a contiguous chunk of the shared τ array and updates it
+    in place; the final κ equals the serial algorithms' output (unique fixed
+    point), though the round count depends on the partitioning.
+    """
+    space = _as_csr(source, r, s)
+    backend = ProcessPoolBackend(workers, start_method=start_method)
+    return backend.run_and(space, max_iterations=max_iterations)

@@ -1,10 +1,13 @@
-"""Parallel runners: thread-pool SND and simulated scalability experiments.
+"""Parallel runners: thread/process SND and simulated scalability experiments.
 
-Two things live here:
+Three things live here:
 
 * :func:`parallel_snd_decomposition` — an SND implementation whose
   per-iteration updates are dispatched through a
-  :class:`repro.parallel.scheduler.ThreadPoolBackend`.  It produces exactly
+  :class:`repro.parallel.scheduler.ThreadPoolBackend`
+  (``parallel="thread"``, correctness under the GIL) or through the
+  shared-memory process pool of :mod:`repro.parallel.procpool`
+  (``parallel="process"``, real multi-core).  Either way it produces exactly
   the same κ indices as the sequential SND (the synchronous update only reads
   the previous iteration's values), which the test-suite asserts.
 * :func:`simulate_local_scalability` / :func:`simulate_peeling_scalability` —
@@ -17,7 +20,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.core.csr import CSRSpace, chunk_ranges, resolve_backend, resolve_space
+from repro.core.csr import (
+    CSRSpace,
+    chunk_ranges,
+    resolve_space_for_backend,
+)
 from repro.core.hindex import h_index
 from repro.core.result import DecompositionResult
 from repro.core.space import NucleusSpace
@@ -25,10 +32,14 @@ from repro.graph.graph import Graph
 from repro.parallel.scheduler import ScheduleReport, SimulatedScheduler, ThreadPoolBackend
 
 __all__ = [
+    "PARALLEL_MODES",
     "parallel_snd_decomposition",
     "simulate_local_scalability",
     "simulate_peeling_scalability",
 ]
+
+#: Valid values of the ``parallel=`` parameter accepted by the runners.
+PARALLEL_MODES = ("thread", "process")
 
 
 def parallel_snd_decomposition(
@@ -40,25 +51,45 @@ def parallel_snd_decomposition(
     max_iterations: Optional[int] = None,
     backend: str = "auto",
     chunks_per_thread: int = 4,
+    parallel: str = "thread",
 ) -> DecompositionResult:
-    """SND with per-iteration updates evaluated on a thread pool.
+    """SND with per-iteration updates evaluated on a thread or process pool.
 
     Semantically identical to :func:`repro.core.snd.snd_decomposition`; the
     synchronous (Jacobi) structure means every task only reads the frozen
     previous-iteration vector, so concurrent evaluation is trivially safe.
 
-    With ``backend="csr"`` (or ``"auto"`` on a large space) the per-index
-    task dispatch is replaced by *chunked CSR ranges*: the clique index space
-    is cut into ``num_threads * chunks_per_thread`` contiguous ranges and
-    each pool task sweeps one range over the flat arrays.  That amortises
-    the dispatch overhead over many ρ evaluations while keeping enough
-    chunks for dynamic load balancing, and is the shape a future
-    multiprocessing runner needs (a :class:`CSRSpace` is picklable and can
-    be shared across workers, unlike the dict-of-tuples space).
+    ``parallel="process"`` delegates to
+    :func:`repro.parallel.procpool.process_snd_decomposition`: ``num_threads``
+    worker *processes* attach to shared-memory CSR buffers and sweep
+    context-balanced chunks — the only mode that can beat the GIL.
+
+    With ``parallel="thread"`` and ``backend="csr"`` (or ``"auto"`` on a
+    large space) the per-index task dispatch is replaced by *chunked CSR
+    ranges*: the clique index space is cut into
+    ``num_threads * chunks_per_thread`` contiguous ranges and each pool task
+    sweeps one range over the flat arrays, amortising the dispatch overhead
+    over many ρ evaluations while keeping enough chunks for dynamic load
+    balancing.
     """
-    space = resolve_space(source, r, s)
+    if parallel not in PARALLEL_MODES:
+        raise ValueError(
+            f"unknown parallel mode {parallel!r}; expected one of {PARALLEL_MODES}"
+        )
+    if parallel == "process":
+        if backend == "dict":
+            raise ValueError(
+                "parallel='process' runs on the shared CSR buffers; "
+                "backend='dict' cannot be honoured (use 'csr' or 'auto')"
+            )
+        from repro.parallel.procpool import process_snd_decomposition
+
+        return process_snd_decomposition(
+            source, r, s, workers=num_threads, max_iterations=max_iterations
+        )
+    space, resolved = resolve_space_for_backend(source, r, s, backend)
     pool = ThreadPoolBackend(num_threads)
-    if resolve_backend(backend, space) == "csr":
+    if resolved == "csr":
         csr = space if isinstance(space, CSRSpace) else space.to_csr()
         return _parallel_snd_csr(
             csr, pool, num_threads * max(chunks_per_thread, 1), max_iterations

@@ -1,0 +1,8 @@
+"""Performance tooling: benchmark artifact comparison for CI trend gating.
+
+Import :mod:`repro.perf.trend` directly (or run ``python -m repro.perf.trend``);
+the package itself stays import-free so the ``-m`` entry point does not
+trigger the double-import warning.
+"""
+
+__all__ = ["trend"]

@@ -1,0 +1,167 @@
+"""Benchmark trend gate: compare two ``BENCH_smoke.json`` artifacts.
+
+CI uploads one smoke artifact per commit (see ``benchmarks/conftest.py``).
+This module turns those artifacts into a regression gate: given the previous
+commit's payload and the current one, it flags
+
+* **test regressions** — a benchmark test whose wall-clock duration grew by
+  more than the threshold (default 25%), and
+* **kernel regressions** — a recorded measurement (``bench_record`` entries
+  such as the backend speedup timings) whose ``*_s`` seconds field grew by
+  more than the threshold.
+
+Durations below ``min_seconds`` are ignored on both sides: single-shot smoke
+timings of sub-50 ms tests are scheduling noise, not signal.  Tests whose id
+matches an ``ignore_tests`` substring (default: the process-pool and
+measured-scalability benches) are excluded from the duration gate for the
+same reason — multi-process wall-clock on a time-sliced shared runner
+measures the scheduler, not the kernels; their per-kernel ``*_s``
+measurements remain gated.  Missing counterparts (new tests, renamed
+measurements) are never regressions — the gate only compares what exists in
+both payloads.
+
+CLI usage (exit code 1 on regression, 0 otherwise)::
+
+    python -m repro.perf.trend previous.json current.json --threshold 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["load_payload", "compare_payloads", "main"]
+
+DEFAULT_THRESHOLD = 0.25
+DEFAULT_MIN_SECONDS = 0.05
+
+#: Test-id substrings excluded from the wall-clock duration gate: these
+#: benches spend their time in fork + multi-worker scheduling, which shared
+#: CI runners time-slice unpredictably.
+DEFAULT_IGNORE_TESTS = ("procpool", "measured_process")
+
+
+def load_payload(path: str) -> dict:
+    """Load one smoke artifact; raises ValueError on schema mismatch."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    schema = payload.get("schema", "")
+    if not str(schema).startswith("bench-smoke/"):
+        raise ValueError(f"{path}: unexpected schema {schema!r}")
+    return payload
+
+
+def _test_durations(payload: dict) -> Dict[str, float]:
+    return {
+        rec["test"]: float(rec["duration_s"])
+        for rec in payload.get("tests", [])
+        if rec.get("outcome") == "passed" and "duration_s" in rec
+    }
+
+
+def _kernel_seconds(payload: dict) -> Dict[Tuple[str, str], float]:
+    """Flatten measurement records into ``(name, field) -> seconds``.
+
+    Only fields ending in ``_s`` (the convention for kernel wall-clock
+    seconds, e.g. ``csr_s`` / ``dict_s``) participate; ratios and counters
+    are machine-independent enough to not need a gate.
+    """
+    out: Dict[Tuple[str, str], float] = {}
+    for rec in payload.get("measurements", []):
+        name = rec.get("name")
+        if not name:
+            continue
+        for field, value in rec.items():
+            if field.endswith("_s") and isinstance(value, (int, float)):
+                out[(name, field)] = float(value)
+    return out
+
+
+def compare_payloads(
+    previous: dict,
+    current: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+    ignore_tests: Tuple[str, ...] = DEFAULT_IGNORE_TESTS,
+) -> List[str]:
+    """Return one human-readable line per regression (empty list = pass)."""
+    regressions: List[str] = []
+    prev_tests = _test_durations(previous)
+    for test, cur in _test_durations(current).items():
+        if any(pattern in test for pattern in ignore_tests):
+            continue
+        prev = prev_tests.get(test)
+        if prev is None or prev < min_seconds or cur < min_seconds:
+            continue
+        if cur > prev * (1.0 + threshold):
+            regressions.append(
+                f"test {test}: {prev:.3f}s -> {cur:.3f}s "
+                f"(+{(cur / prev - 1.0) * 100.0:.0f}%, threshold "
+                f"{threshold * 100.0:.0f}%)"
+            )
+    prev_kernels = _kernel_seconds(previous)
+    for key, cur in _kernel_seconds(current).items():
+        prev = prev_kernels.get(key)
+        if prev is None or prev < min_seconds or cur < min_seconds:
+            continue
+        if cur > prev * (1.0 + threshold):
+            name, field = key
+            regressions.append(
+                f"kernel {name}.{field}: {prev:.3f}s -> {cur:.3f}s "
+                f"(+{(cur / prev - 1.0) * 100.0:.0f}%, threshold "
+                f"{threshold * 100.0:.0f}%)"
+            )
+    return regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.perf.trend",
+        description="Fail when the current benchmark artifact regressed "
+        "against the previous one.",
+    )
+    parser.add_argument("previous", help="previous commit's BENCH_smoke.json")
+    parser.add_argument("current", help="current commit's BENCH_smoke.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed relative slowdown before failing (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help="ignore timings below this on either side (noise floor)",
+    )
+    parser.add_argument(
+        "--ignore-tests",
+        nargs="*",
+        default=list(DEFAULT_IGNORE_TESTS),
+        help="test-id substrings excluded from the duration gate "
+        "(multi-process benches whose wall-clock is scheduler noise)",
+    )
+    args = parser.parse_args(argv)
+    previous = load_payload(args.previous)
+    current = load_payload(args.current)
+    regressions = compare_payloads(
+        previous,
+        current,
+        threshold=args.threshold,
+        min_seconds=args.min_seconds,
+        ignore_tests=tuple(args.ignore_tests),
+    )
+    if regressions:
+        print(f"{len(regressions)} benchmark regression(s):")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print("benchmark trend OK (no regression above threshold)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

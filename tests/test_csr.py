@@ -112,6 +112,61 @@ class TestCSRSpaceStructure:
             csr.as_dict(values + [0])
 
 
+class TestFromGraph:
+    """Direct graph-to-CSR construction must equal the dict-then-convert path."""
+
+    @pytest.mark.parametrize("rs", INSTANCES + [(2, 4), (1, 3)])
+    def test_structure_identical_to_dict_path(self, any_graph, rs):
+        via_dict = NucleusSpace(any_graph, *rs).to_csr()
+        direct = CSRSpace.from_graph(any_graph, *rs)
+        direct.validate()
+        assert direct.r == via_dict.r and direct.s == via_dict.s
+        assert direct.cliques == via_dict.cliques
+        assert list(direct.ctx_offsets) == list(via_dict.ctx_offsets)
+        assert list(direct.ctx_members) == list(via_dict.ctx_members)
+        assert list(direct.nbr_offsets) == list(via_dict.nbr_offsets)
+        assert list(direct.nbr_members) == list(via_dict.nbr_members)
+
+    @pytest.mark.parametrize("rs", INSTANCES)
+    def test_empty_and_tiny_graphs(self, rs):
+        for graph in (Graph(), Graph(edges=[(0, 1)], vertices=[0, 1, 2])):
+            direct = CSRSpace.from_graph(graph, *rs)
+            direct.validate()
+            via_dict = NucleusSpace(graph, *rs).to_csr()
+            assert direct.cliques == via_dict.cliques
+            assert list(direct.ctx_members) == list(via_dict.ctx_members)
+
+    def test_kappa_parity_all_algorithms(self, any_graph):
+        direct = CSRSpace.from_graph(any_graph, 2, 3)
+        exact = peeling_decomposition(any_graph, 2, 3, backend="dict")
+        assert peeling_decomposition(direct).kappa == exact.kappa
+        assert and_decomposition_csr(direct).kappa == exact.kappa
+        assert snd_decomposition_csr(direct, use_numpy=False).kappa == exact.kappa
+
+    def test_invalid_rs(self):
+        with pytest.raises(ValueError):
+            CSRSpace.from_graph(Graph(), 2, 2)
+        with pytest.raises(ValueError):
+            CSRSpace.from_graph(Graph(), 0, 2)
+
+    def test_csr_backend_skips_dict_space(self, monkeypatch):
+        """backend='csr' with a Graph source must never build a NucleusSpace."""
+        graph = powerlaw_cluster_graph(60, 4, 0.5, seed=2)
+        expected = peeling_decomposition(graph, 2, 3, backend="dict").kappa
+
+        def forbidden(self, *args, **kwargs):
+            raise AssertionError("NucleusSpace built on the direct CSR path")
+
+        monkeypatch.setattr(NucleusSpace, "__init__", forbidden)
+        result = nucleus_decomposition(graph, 2, 3, algorithm="snd", backend="csr")
+        assert result.kappa == expected
+        assert result.operations["backend"] == "csr"
+
+    def test_graph_source_requires_rs(self):
+        with pytest.raises(ValueError):
+            snd_decomposition_csr(Graph([(0, 1)]))
+
+
 class TestBackendSelection:
     def test_resolve_backend_values(self):
         small = NucleusSpace(ring_of_cliques(3, 4), 1, 2)

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.core.csr import CSRSpace, chunk_ranges, weighted_ranges
+from repro.core.decomposition import nucleus_decomposition
 from repro.core.peeling import peeling_decomposition
 from repro.core.space import NucleusSpace
 from repro.parallel.runner import (
@@ -10,6 +12,67 @@ from repro.parallel.runner import (
     simulate_peeling_scalability,
 )
 from repro.parallel.scheduler import ScheduleReport, SimulatedScheduler, ThreadPoolBackend
+
+
+class TestChunkRanges:
+    def test_balanced_sizes(self):
+        assert list(chunk_ranges(10, 4)) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+        sizes = [hi - lo for lo, hi in chunk_ranges(11, 3)]
+        assert sorted(sizes, reverse=True) == sizes
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_fewer_items_than_chunks_never_emits_empty_ranges(self):
+        assert list(chunk_ranges(2, 4)) == [(0, 1), (1, 2)]
+        assert list(chunk_ranges(1, 8)) == [(0, 1)]
+
+    def test_zero_items_yields_nothing(self):
+        assert list(chunk_ranges(0, 4)) == []
+        assert list(chunk_ranges(-3, 4)) == []
+
+    def test_invalid_chunk_count(self):
+        with pytest.raises(ValueError):
+            list(chunk_ranges(5, 0))
+        with pytest.raises(ValueError):
+            list(chunk_ranges(5, -1))
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 5, 17, 100])
+    @pytest.mark.parametrize("k", [1, 2, 3, 7, 16])
+    def test_property_full_coverage_no_empties(self, n, k):
+        ranges = list(chunk_ranges(n, k))
+        assert all(lo < hi for lo, hi in ranges)
+        assert [i for lo, hi in ranges for i in range(lo, hi)] == list(range(n))
+        assert len(ranges) == min(n, k)
+
+
+class TestWeightedRanges:
+    def test_balances_by_context_count(self):
+        # one heavy index followed by many light ones: the weighted split
+        # gives the heavy index its own chunk
+        offsets = [0, 90, 91, 92, 93, 94, 95, 96, 97, 98, 100]
+        ranges = weighted_ranges(offsets, 2)
+        assert ranges[0] == (0, 1)
+        assert [i for lo, hi in ranges for i in range(lo, hi)] == list(range(10))
+
+    def test_empty_space(self):
+        assert weighted_ranges([0], 4) == []
+
+    def test_zero_total_contexts_falls_back_to_index_split(self):
+        ranges = weighted_ranges([0, 0, 0, 0], 2)
+        assert [i for lo, hi in ranges for i in range(lo, hi)] == [0, 1, 2]
+        assert all(lo < hi for lo, hi in ranges)
+
+    def test_invalid_chunk_count(self):
+        with pytest.raises(ValueError):
+            weighted_ranges([0, 1], 0)
+
+    def test_property_on_real_space(self, small_powerlaw_graph):
+        csr = CSRSpace.from_graph(small_powerlaw_graph, 2, 3)
+        n = len(csr)
+        for k in (1, 2, 3, 8, n, n + 5):
+            ranges = weighted_ranges(csr.ctx_offsets, k)
+            assert all(lo < hi for lo, hi in ranges)
+            assert [i for lo, hi in ranges for i in range(lo, hi)] == list(range(n))
+            assert len(ranges) == min(n, k)
 
 
 class TestSimulatedScheduler:
@@ -85,6 +148,101 @@ class TestParallelSnd:
         space = NucleusSpace(small_powerlaw_graph, 1, 2)
         result = parallel_snd_decomposition(space, num_threads=2, max_iterations=1)
         assert result.iterations == 1
+
+    def test_process_mode_matches_sequential(self, small_powerlaw_graph):
+        exact = peeling_decomposition(small_powerlaw_graph, 2, 3).kappa
+        result = parallel_snd_decomposition(
+            small_powerlaw_graph, 2, 3, num_threads=2, parallel="process"
+        )
+        assert result.kappa == exact
+        assert result.operations["parallel"] == "process"
+
+    def test_invalid_parallel_mode(self, small_powerlaw_graph):
+        with pytest.raises(ValueError):
+            parallel_snd_decomposition(
+                small_powerlaw_graph, 1, 2, parallel="fibers"
+            )
+
+
+class TestParallelDispatch:
+    """nucleus_decomposition(parallel=..., workers=...) routing."""
+
+    def test_thread_snd(self, small_powerlaw_graph):
+        exact = peeling_decomposition(small_powerlaw_graph, 1, 2).kappa
+        result = nucleus_decomposition(
+            small_powerlaw_graph, 1, 2, algorithm="snd", parallel="thread", workers=2
+        )
+        assert result.kappa == exact
+
+    @pytest.mark.parametrize("algorithm", ["snd", "and"])
+    def test_process_local_algorithms(self, small_powerlaw_graph, algorithm):
+        exact = peeling_decomposition(small_powerlaw_graph, 1, 2).kappa
+        result = nucleus_decomposition(
+            small_powerlaw_graph,
+            1,
+            2,
+            algorithm=algorithm,
+            parallel="process",
+            workers=2,
+        )
+        assert result.kappa == exact
+        assert result.operations["parallel"] == "process"
+
+    def test_workers_without_parallel_rejected(self, small_powerlaw_graph):
+        with pytest.raises(ValueError, match="workers"):
+            nucleus_decomposition(small_powerlaw_graph, 1, 2, workers=4)
+
+    def test_thread_and_rejected(self, small_powerlaw_graph):
+        with pytest.raises(ValueError, match="thread"):
+            nucleus_decomposition(
+                small_powerlaw_graph, 1, 2, algorithm="and", parallel="thread"
+            )
+
+    def test_parallel_peeling_rejected(self, small_powerlaw_graph):
+        with pytest.raises(ValueError, match="peeling"):
+            nucleus_decomposition(
+                small_powerlaw_graph, 1, 2, algorithm="peeling", parallel="process"
+            )
+
+    def test_unknown_parallel_mode_rejected(self, small_powerlaw_graph):
+        with pytest.raises(ValueError, match="parallel"):
+            nucleus_decomposition(
+                small_powerlaw_graph, 1, 2, algorithm="snd", parallel="gpu"
+            )
+
+    def test_process_with_dict_backend_rejected(self, small_powerlaw_graph):
+        with pytest.raises(ValueError, match="dict"):
+            nucleus_decomposition(
+                small_powerlaw_graph, 1, 2, parallel="process", backend="dict"
+            )
+        with pytest.raises(ValueError, match="dict"):
+            parallel_snd_decomposition(
+                small_powerlaw_graph, 1, 2, parallel="process", backend="dict"
+            )
+
+    def test_process_rejects_serial_only_options(self, small_powerlaw_graph):
+        with pytest.raises(ValueError, match="max_iterations"):
+            nucleus_decomposition(
+                small_powerlaw_graph,
+                1,
+                2,
+                algorithm="and",
+                parallel="process",
+                order="degree",
+            )
+
+    def test_process_forwards_max_iterations(self, small_powerlaw_graph):
+        result = nucleus_decomposition(
+            small_powerlaw_graph,
+            1,
+            2,
+            algorithm="snd",
+            parallel="process",
+            workers=2,
+            max_iterations=1,
+        )
+        assert result.iterations == 1
+        assert not result.converged
 
 
 class TestScalabilitySimulation:

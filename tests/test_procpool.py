@@ -1,0 +1,183 @@
+"""Process-pool backend: κ parity and shared-memory segment lifecycle.
+
+Two contracts under test:
+
+* the pool output is byte-identical to the serial kernels (and for SND even
+  the iteration count matches — the Jacobi schedule is deterministic no
+  matter how many workers sweep it);
+* every shared-memory segment the parent creates is unlinked again on
+  normal exit, on worker failure and on KeyboardInterrupt — no leaked
+  ``/dev/shm`` entries, no matter how the run ends.
+"""
+
+import multiprocessing as mp
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.core.csr import CSRSpace
+from repro.core.peeling import peeling_decomposition
+from repro.core.snd import snd_decomposition
+from repro.core.space import NucleusSpace
+from repro.graph.generators import ring_of_cliques
+from repro.graph.graph import Graph
+from repro.parallel import procpool
+from repro.parallel.procpool import (
+    ProcessPoolBackend,
+    SharedCSRBuffers,
+    process_and_decomposition,
+    process_snd_decomposition,
+)
+
+HAVE_FORK = "fork" in mp.get_all_start_methods()
+
+
+@pytest.fixture
+def captured_segments(monkeypatch):
+    """Record every shared-memory segment name the pool creates."""
+    names = []
+    original = SharedCSRBuffers.create
+
+    def create(self, tag, nbytes):
+        shm = original(self, tag, nbytes)
+        names.append(shm.name)
+        return shm
+
+    monkeypatch.setattr(SharedCSRBuffers, "create", create)
+    return names
+
+
+def assert_all_unlinked(names):
+    assert names, "expected the run to create shared-memory segments"
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestKappaParity:
+    @pytest.mark.parametrize("rs", [(1, 2), (2, 3)])
+    @pytest.mark.parametrize("workers", [1, 2, 5])
+    def test_snd_matches_serial(self, small_powerlaw_graph, rs, workers):
+        csr = CSRSpace.from_graph(small_powerlaw_graph, *rs)
+        serial = snd_decomposition(csr)
+        exact = peeling_decomposition(csr).kappa
+        result = process_snd_decomposition(csr, workers=workers)
+        assert result.kappa == serial.kappa == exact
+        assert result.iterations == serial.iterations
+        assert result.converged
+        assert result.operations["parallel"] == "process"
+
+    @pytest.mark.parametrize("rs", [(1, 2), (2, 3)])
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_and_matches_exact(self, small_powerlaw_graph, rs, workers):
+        csr = CSRSpace.from_graph(small_powerlaw_graph, *rs)
+        exact = peeling_decomposition(csr).kappa
+        result = process_and_decomposition(csr, workers=workers)
+        assert result.kappa == exact
+        assert result.converged
+
+    def test_graph_source_and_space_source(self, small_powerlaw_graph):
+        exact = peeling_decomposition(small_powerlaw_graph, 1, 2).kappa
+        from_graph = process_snd_decomposition(small_powerlaw_graph, 1, 2, workers=2)
+        from_space = process_snd_decomposition(
+            NucleusSpace(small_powerlaw_graph, 1, 2), workers=2
+        )
+        assert from_graph.kappa == from_space.kappa == exact
+
+    def test_max_iterations_matches_serial(self, small_powerlaw_graph):
+        csr = CSRSpace.from_graph(small_powerlaw_graph, 2, 3)
+        for cap in (0, 1, 3):
+            serial = snd_decomposition(csr, max_iterations=cap)
+            pooled = process_snd_decomposition(csr, workers=2, max_iterations=cap)
+            assert pooled.kappa == serial.kappa
+            assert pooled.converged == serial.converged
+            assert pooled.iterations == serial.iterations
+
+    def test_empty_graph(self):
+        result = process_snd_decomposition(Graph(), 1, 2)
+        assert result.kappa == []
+        assert result.converged
+
+    def test_more_workers_than_cliques(self):
+        graph = ring_of_cliques(2, 3)
+        exact = peeling_decomposition(graph, 1, 2).kappa
+        result = process_snd_decomposition(graph, 1, 2, workers=64)
+        assert result.kappa == exact
+        assert result.operations["workers"] <= len(exact)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(0)
+
+
+class TestSegmentLifecycle:
+    def test_unlinked_on_normal_exit(self, small_powerlaw_graph, captured_segments):
+        result = process_snd_decomposition(small_powerlaw_graph, 1, 2, workers=2)
+        assert result.converged
+        assert_all_unlinked(captured_segments)
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fault injection needs fork")
+    def test_unlinked_on_worker_exception(
+        self, small_powerlaw_graph, captured_segments, monkeypatch
+    ):
+        monkeypatch.setattr(
+            procpool, "_TEST_WORKER_FAULT", RuntimeError("injected worker fault")
+        )
+        with pytest.raises(RuntimeError, match="injected worker fault"):
+            process_snd_decomposition(small_powerlaw_graph, 1, 2, workers=3)
+        assert_all_unlinked(captured_segments)
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fault injection needs fork")
+    def test_unlinked_on_worker_keyboard_interrupt(
+        self, small_powerlaw_graph, captured_segments, monkeypatch
+    ):
+        monkeypatch.setattr(procpool, "_TEST_WORKER_FAULT", KeyboardInterrupt())
+        with pytest.raises(RuntimeError):
+            process_and_decomposition(small_powerlaw_graph, 1, 2, workers=3)
+        assert_all_unlinked(captured_segments)
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fault injection needs fork")
+    def test_hard_killed_worker_fails_fast(
+        self, small_powerlaw_graph, captured_segments, monkeypatch
+    ):
+        """A worker dying without cleanup (as an OOM kill would) must not
+        stall its peers until the barrier safety timeout."""
+        import time
+
+        monkeypatch.setattr(procpool, "_TEST_WORKER_FAULT", "hard-exit")
+        t0 = time.perf_counter()
+        with pytest.raises(RuntimeError, match="exit codes"):
+            process_snd_decomposition(small_powerlaw_graph, 1, 2, workers=3)
+        assert time.perf_counter() - t0 < 30.0  # far below barrier_timeout
+        assert_all_unlinked(captured_segments)
+
+    def test_unlinked_on_parent_keyboard_interrupt(
+        self, small_powerlaw_graph, captured_segments
+    ):
+        class InterruptedBackend(ProcessPoolBackend):
+            def _wait(self, procs):
+                raise KeyboardInterrupt
+
+        csr = CSRSpace.from_graph(small_powerlaw_graph, 1, 2)
+        with pytest.raises(KeyboardInterrupt):
+            InterruptedBackend(2).run_snd(csr)
+        assert_all_unlinked(captured_segments)
+
+    def test_destroy_is_idempotent(self):
+        arena = SharedCSRBuffers()
+        arena.create("x", 64)
+        arena.destroy()
+        arena.destroy()  # second call must be a no-op, not an error
+
+    def test_create_from_round_trips(self):
+        from array import array
+
+        arena = SharedCSRBuffers()
+        try:
+            data = array("q", [3, 1, 4, 1, 5, 9, 2, 6])
+            shm = arena.create_from("buf", data)
+            out = array("q")
+            out.frombytes(bytes(shm.buf[:8 * len(data)]))
+            assert list(out) == list(data)
+        finally:
+            arena.destroy()

@@ -1,0 +1,104 @@
+"""Benchmark trend gate: artifact comparison semantics and CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.perf.trend import compare_payloads, load_payload, main
+
+
+def payload(tests=(), measurements=()):
+    return {
+        "schema": "bench-smoke/1",
+        "tests": list(tests),
+        "measurements": list(measurements),
+    }
+
+
+def trec(test, duration, outcome="passed"):
+    return {"test": test, "outcome": outcome, "duration_s": duration}
+
+
+class TestComparePayloads:
+    def test_no_regression(self):
+        prev = payload(tests=[trec("a", 1.0), trec("b", 2.0)])
+        cur = payload(tests=[trec("a", 1.1), trec("b", 1.5)])
+        assert compare_payloads(prev, cur) == []
+
+    def test_test_regression_flagged(self):
+        prev = payload(tests=[trec("bench_x", 1.0)])
+        cur = payload(tests=[trec("bench_x", 1.4)])
+        lines = compare_payloads(prev, cur, threshold=0.25)
+        assert len(lines) == 1
+        assert "bench_x" in lines[0]
+
+    def test_threshold_boundary(self):
+        prev = payload(tests=[trec("t", 1.0)])
+        exactly = payload(tests=[trec("t", 1.25)])
+        above = payload(tests=[trec("t", 1.26)])
+        assert compare_payloads(prev, exactly, threshold=0.25) == []
+        assert len(compare_payloads(prev, above, threshold=0.25)) == 1
+
+    def test_noise_floor_ignored(self):
+        # 10x slowdown but both sides are below the noise floor
+        prev = payload(tests=[trec("tiny", 0.001)])
+        cur = payload(tests=[trec("tiny", 0.010)])
+        assert compare_payloads(prev, cur, min_seconds=0.05) == []
+
+    def test_new_and_removed_tests_ignored(self):
+        prev = payload(tests=[trec("gone", 5.0)])
+        cur = payload(tests=[trec("new", 5.0)])
+        assert compare_payloads(prev, cur) == []
+
+    def test_failed_tests_not_compared(self):
+        prev = payload(tests=[trec("flaky", 1.0)])
+        cur = payload(tests=[trec("flaky", 9.0, outcome="failed")])
+        assert compare_payloads(prev, cur) == []
+
+    def test_kernel_measurement_regression(self):
+        prev = payload(measurements=[{"name": "snd_backend_speedup", "csr_s": 0.10}])
+        cur = payload(measurements=[{"name": "snd_backend_speedup", "csr_s": 0.20}])
+        lines = compare_payloads(prev, cur)
+        assert len(lines) == 1
+        assert "snd_backend_speedup.csr_s" in lines[0]
+
+    def test_non_seconds_fields_ignored(self):
+        # the speedup ratio halves, but ratios are not gated — only *_s are
+        prev = payload(measurements=[{"name": "m", "speedup": 10.0}])
+        cur = payload(measurements=[{"name": "m", "speedup": 5.0}])
+        assert compare_payloads(prev, cur) == []
+
+    def test_multiprocess_bench_durations_not_gated(self):
+        # pool benches measure fork + scheduler time-slicing, not kernels;
+        # their wall-clock durations are excluded from the gate by default
+        prev = payload(tests=[trec("benchmarks/bench_procpool.py::test_snd", 0.5)])
+        cur = payload(tests=[trec("benchmarks/bench_procpool.py::test_snd", 0.9)])
+        assert compare_payloads(prev, cur) == []
+        assert len(compare_payloads(prev, cur, ignore_tests=())) == 1
+
+
+class TestLoadAndMain:
+    def write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = self.write(tmp_path, "bad.json", {"schema": "other/1"})
+        with pytest.raises(ValueError):
+            load_payload(path)
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        prev = self.write(tmp_path, "prev.json", payload(tests=[trec("t", 1.0)]))
+        ok = self.write(tmp_path, "ok.json", payload(tests=[trec("t", 1.0)]))
+        bad = self.write(tmp_path, "bad.json", payload(tests=[trec("t", 2.0)]))
+        assert main([prev, ok]) == 0
+        assert "trend OK" in capsys.readouterr().out
+        assert main([prev, bad]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_main_threshold_flag(self, tmp_path):
+        prev = self.write(tmp_path, "prev.json", payload(tests=[trec("t", 1.0)]))
+        cur = self.write(tmp_path, "cur.json", payload(tests=[trec("t", 1.8)]))
+        assert main([prev, cur]) == 1
+        assert main([prev, cur, "--threshold", "1.0"]) == 0
