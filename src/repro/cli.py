@@ -137,8 +137,8 @@ def build_parser() -> argparse.ArgumentParser:
     dec.add_argument(
         "--workers",
         type=int,
-        default=4,
-        help="worker count for --parallel (default 4)",
+        default=None,
+        help="worker count for --parallel (default 4); requires --parallel",
     )
     dec.add_argument("--hierarchy", action="store_true", help="print the nucleus hierarchy")
 
@@ -149,6 +149,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.command == "decompose" and args.workers is not None and args.parallel is None:
+        # a silently discarded worker count looks like a slow parallel run;
+        # fail loudly instead
+        parser.error("--workers requires --parallel {thread,process}")
 
     if args.command == "datasets":
         print(format_datasets_table(run_datasets_table()))
@@ -207,7 +212,7 @@ def _run_decompose(args: argparse.Namespace) -> None:
         algorithm=args.algorithm,
         backend=args.backend,
         parallel=args.parallel,
-        workers=args.workers if args.parallel else None,
+        workers=args.workers,
     )
     print(result.summary())
     histogram_rows = [

@@ -112,7 +112,11 @@ def and_decomposition(
     notification:
         Enable the notification mechanism: an r-clique is recomputed only if
         one of its neighbours changed since its last computation.  Disable to
-        measure the redundant-computation overhead (experiment E4).
+        measure the redundant-computation overhead (experiment E4).  The
+        process-pool runner (``nucleus_decomposition(parallel="process",
+        algorithm="and", notification=...)``) honours the same flag via a
+        shared active bitmap that carries notifications across worker
+        chunk boundaries.
     max_iterations, record_history, reference_kappa, on_iteration:
         Same semantics as in :func:`repro.core.snd.snd_decomposition`.
     backend:

@@ -53,7 +53,9 @@ __all__ = [
     "BACKENDS",
     "AUTO_CSR_THRESHOLD",
     "HAVE_NUMPY",
+    "estimate_r_clique_count",
     "resolve_backend",
+    "resolve_process_backend",
     "and_decomposition_csr",
     "snd_decomposition_csr",
     "chunk_ranges",
@@ -486,6 +488,47 @@ def _incidence_generic(graph: Graph, r: int, s: int):
 # ----------------------------------------------------------------------
 # backend selection
 # ----------------------------------------------------------------------
+def estimate_r_clique_count(
+    graph: Graph, r: int, *, limit: Optional[int] = None
+) -> int:
+    """Cheaply count (or bound) the r-cliques of ``graph``.
+
+    This is the size estimator behind ``backend="auto"`` routing of
+    :class:`Graph` sources: the decision "is the space at least
+    :data:`AUTO_CSR_THRESHOLD` r-cliques?" must not cost a full space
+    construction.  ``r = 1`` and ``r = 2`` are O(1) lookups (vertex / edge
+    counts); ``r = 3`` counts oriented triangles; the generic case walks the
+    shared clique enumerator.  With ``limit`` the count stops as soon as it
+    reaches the limit, so the answer is exact below the limit and a
+    lower bound (== ``limit``) at or above it — exactly what a threshold
+    comparison needs.
+    """
+    if r < 1:
+        raise ValueError(f"need r >= 1, got r={r}")
+    if r == 1:
+        return graph.number_of_vertices()
+    if r == 2:
+        return graph.number_of_edges()
+    count = 0
+    if r == 3:
+        order, forward = _oriented_forward(graph)
+        has_edge = graph.has_edge
+        for u in order:
+            out = forward[u]
+            for i, v in enumerate(out):
+                for w in out[i + 1:]:
+                    if has_edge(v, w):
+                        count += 1
+                        if limit is not None and count >= limit:
+                            return count
+        return count
+    for _ in enumerate_k_cliques(graph, r):
+        count += 1
+        if limit is not None and count >= limit:
+            return count
+    return count
+
+
 def resolve_backend(
     backend: str, space: Union[NucleusSpace, CSRSpace]
 ) -> str:
@@ -506,6 +549,24 @@ def resolve_backend(
     if backend == "auto":
         return "csr" if len(space) >= AUTO_CSR_THRESHOLD else "dict"
     return backend
+
+
+def resolve_process_backend(backend: str) -> str:
+    """Resolve a ``backend=`` argument for a *process-pool* request.
+
+    The shared-memory pool only runs on CSR buffers, so ``"auto"`` always
+    means ``"csr"`` here — regardless of space size, and without building
+    any space to measure.  Asking for the dict backend is an error, not a
+    silent downgrade.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if backend == "dict":
+        raise ValueError(
+            "parallel='process' runs on the shared CSR buffers; "
+            "backend='dict' cannot be honoured (use 'csr' or 'auto')"
+        )
+    return "csr"
 
 
 def resolve_space(
@@ -535,16 +596,24 @@ def resolve_space_for_backend(
 
     A :class:`Graph` source with ``backend="csr"`` is constructed directly
     via :meth:`CSRSpace.from_graph` — the :class:`NucleusSpace` is never
-    built.  Every other combination behaves like :func:`resolve_space`
-    followed by :func:`resolve_backend` (``"auto"`` still needs the space to
-    measure its size, so it keeps the dict construction path).
+    built.  ``backend="auto"`` on a Graph sizes the space with the cheap
+    :func:`estimate_r_clique_count` estimator (early-exiting at the
+    threshold) and routes at-or-above-threshold graphs straight to
+    ``from_graph`` as well, instead of paying the dict-space construction
+    just to measure it; below the threshold the dict space is built as
+    before.  Every other combination behaves like :func:`resolve_space`
+    followed by :func:`resolve_backend`.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
-    if isinstance(source, Graph) and backend == "csr":
+    if isinstance(source, Graph) and backend in ("csr", "auto"):
         if r is None or s is None:
             raise ValueError("r and s are required when passing a Graph")
-        return CSRSpace.from_graph(source, r, s), "csr"
+        if backend == "csr" or (
+            estimate_r_clique_count(source, r, limit=AUTO_CSR_THRESHOLD)
+            >= AUTO_CSR_THRESHOLD
+        ):
+            return CSRSpace.from_graph(source, r, s), "csr"
     space = resolve_space(source, r, s)
     return space, resolve_backend(backend, space)
 

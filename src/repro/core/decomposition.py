@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Union
 
 from repro.core.asynd import and_decomposition
-from repro.core.csr import BACKENDS, CSRSpace
+from repro.core.csr import BACKENDS, CSRSpace, resolve_process_backend
 from repro.core.peeling import peeling_decomposition
 from repro.core.result import DecompositionResult
 from repro.core.snd import snd_decomposition
@@ -141,16 +141,19 @@ def _parallel_dispatch(
             "parallel execution supports the local algorithms ('snd', 'and'); "
             "peeling is the sequential baseline"
         )
-    if backend == "dict":
-        raise ValueError(
-            "parallel='process' runs on the shared CSR buffers; "
-            "backend='dict' cannot be honoured (use 'csr' or 'auto')"
-        )
-    unsupported = sorted(set(options) - {"max_iterations"})
+    # the pool only runs on shared CSR buffers: "auto" always means "csr"
+    # here (no space is built just to measure its size), "dict" is an error
+    resolve_process_backend(backend)
+    allowed = (
+        {"max_iterations", "notification"}
+        if algorithm == "and"
+        else {"max_iterations"}
+    )
+    unsupported = sorted(set(options) - allowed)
     if unsupported:
         raise ValueError(
-            f"parallel='process' supports the max_iterations option only, "
-            f"got {unsupported}"
+            f"parallel='process' with algorithm={algorithm!r} supports the "
+            f"{sorted(allowed)} options only, got {unsupported}"
         )
     from repro.parallel.procpool import (
         process_and_decomposition,

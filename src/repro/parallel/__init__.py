@@ -15,10 +15,14 @@ dynamic scheduling.  This package provides three complementary backends:
 * :class:`repro.parallel.procpool.ProcessPoolBackend` — worker *processes*
   attached zero-copy to the CSR buffers via ``multiprocessing.shared_memory``:
   the real multi-core path (SND Jacobi with a double-buffered shared τ, and
-  an asynchronous AND variant with per-chunk τ ownership).
+  an asynchronous AND variant with per-chunk τ ownership and a shared
+  notification bitmap).  :class:`repro.parallel.procpool.PersistentPool`
+  keeps those workers and segments alive across decomposition calls so
+  experiment sweeps pay the fork once.
 """
 
 from repro.parallel.procpool import (
+    PersistentPool,
     ProcessPoolBackend,
     SharedCSRBuffers,
     process_and_decomposition,
@@ -38,6 +42,7 @@ from repro.parallel.scheduler import (
 
 __all__ = [
     "PARALLEL_MODES",
+    "PersistentPool",
     "ProcessPoolBackend",
     "ScheduleReport",
     "SharedCSRBuffers",

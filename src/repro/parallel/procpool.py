@@ -18,12 +18,26 @@ the real multi-core path:
 * **AND** runs the paper's partitioned asynchronous schedule: each worker
   *owns* one contiguous chunk of τ, updates it in place Gauss–Seidel style
   using the freshest own values plus the neighbours' latest published
-  values, and rounds terminate when a whole round publishes zero updates
-  anywhere (the shared converged count);
+  values.  With ``notification=True`` (the default) a shared per-clique
+  *active bitmap* carries the paper's notification mechanism across chunk
+  boundaries: a worker sweeps only the active cliques of its chunk, a τ
+  decrease re-activates the neighbours — also those owned by other workers —
+  and termination is confirmed by a full verification sweep, so the result
+  is a true fixed point even under cross-process flag races;
 * cleanup is unconditional: segments are closed and unlinked in a
   ``finally`` block on normal exit, worker failure and ``KeyboardInterrupt``
   alike, and a failing worker aborts the barrier so its peers exit instead
   of deadlocking.
+
+Two parent-side lifecycles share the same worker kernels:
+
+* :class:`ProcessPoolBackend` — one-shot: fork, sweep, join, unlink.  Every
+  call pays the fork + segment setup.
+* :class:`PersistentPool` — reusable: the first call on a space forks the
+  workers and creates the segments; subsequent calls only reset the τ/meta
+  buffers and send a job description down a pipe, so experiment sweeps
+  (many decompositions of the same space) amortise the setup across calls.
+  Use it as a context manager or call :meth:`PersistentPool.close`.
 
 Both entry points produce κ identical to the serial kernels — byte-for-byte
 for SND (Jacobi is deterministic, so even the iteration count matches) and
@@ -37,6 +51,7 @@ import os
 import secrets
 import sys
 import threading
+import time
 import traceback
 from array import array
 from multiprocessing import shared_memory
@@ -56,6 +71,7 @@ except ImportError:  # pragma: no cover - exercised on numpy-free installs
 __all__ = [
     "SharedCSRBuffers",
     "ProcessPoolBackend",
+    "PersistentPool",
     "process_snd_decomposition",
     "process_and_decomposition",
 ]
@@ -92,9 +108,17 @@ class SharedCSRBuffers:
         self.names: dict = {}
 
     def create(self, tag: str, nbytes: int) -> shared_memory.SharedMemory:
-        """Create a zero-initialised segment of at least ``nbytes`` bytes."""
+        """Create a zero-initialised segment of at least ``nbytes`` bytes.
+
+        Sizes are rounded up to a multiple of the int64 item size so the
+        attach side can always ``memoryview.cast("q")`` the mapping: a space
+        with r-cliques but zero s-cliques has an *empty* ``ctx_members``
+        buffer, and the 1-byte minimum segment it used to get cannot be cast
+        to int64 (the workers crashed on such inputs).
+        """
+        size = max(_ITEMSIZE, -(-nbytes // _ITEMSIZE) * _ITEMSIZE)
         shm = shared_memory.SharedMemory(
-            name=f"{self._token}-{tag}", create=True, size=max(1, nbytes)
+            name=f"{self._token}-{tag}", create=True, size=size
         )
         self._segments.append(shm)
         self.names[tag] = shm.name
@@ -142,37 +166,126 @@ def _attach(name: str, attached: List[shared_memory.SharedMemory]):
     return shm
 
 
+def _create_shared_space(
+    arena: SharedCSRBuffers,
+    space: CSRSpace,
+    degrees: array,
+    num_workers: int,
+    *,
+    double_tau: bool,
+    neighbours: bool,
+) -> None:
+    """Create every segment one pool run (or pool binding) needs.
+
+    ``double_tau`` adds the second Jacobi buffer (SND); ``neighbours`` adds
+    the CSR neighbour relation plus the per-clique active bitmap (AND with
+    notification).  A persistent binding creates all of them so any job kind
+    can run on the same segments.
+    """
+    n = len(space)
+    arena.create_from("ctx_offsets", space.ctx_offsets)
+    arena.create_from("ctx_members", space.ctx_members)
+    arena.create_from("tau_a", degrees)
+    if double_tau:
+        arena.create("tau_b", n * _ITEMSIZE)
+    if neighbours:
+        arena.create_from("nbr_offsets", space.nbr_offsets)
+        arena.create_from("nbr_members", space.nbr_members)
+        active = arena.create("active", n)
+        active.buf[:n] = b"\x01" * n
+    arena.create("counts", num_workers * _ITEMSIZE)
+    arena.create("proc", num_workers * _ITEMSIZE)
+    arena.create("meta", _META_SLOTS * _ITEMSIZE)
+
+
+def _read_int64(shm: shared_memory.SharedMemory, count: int) -> array:
+    """Copy ``count`` int64 values out of a segment.
+
+    Copies with ``bytes()`` so no view outlives the segment
+    (``SharedMemory.close`` refuses to run with exported pointers).
+    """
+    out = array("q")
+    out.frombytes(bytes(shm.buf[:count * _ITEMSIZE]))
+    return out
+
+
+def _extract_result(arena: SharedCSRBuffers, kind: str, n: int, num_workers: int):
+    """Read one finished job's outputs back out of the shared segments.
+
+    Returns ``(rounds, converged, updates_total, processed, kappa)``.  For
+    SND the final τ lives in whichever Jacobi buffer the round parity left
+    it in; AND always updates ``tau_a`` in place.
+    """
+    meta_arr = _read_int64(arena.get("meta"), _META_SLOTS)
+    rounds = meta_arr[_META_ROUNDS]
+    converged = bool(meta_arr[_META_CONVERGED])
+    updates_total = meta_arr[_META_UPDATES]
+    processed = sum(_read_int64(arena.get("proc"), num_workers))
+    final_tag = "tau_a" if kind == "and" or rounds % 2 == 0 else "tau_b"
+    kappa = _read_int64(arena.get(final_tag), n).tolist()
+    return rounds, converged, updates_total, processed, kappa
+
+
 # ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
-def _worker_main(spec: dict, barrier, errq) -> None:
-    """Entry point of one worker process (SND or AND, by ``spec['kind']``)."""
-    attached: List[shared_memory.SharedMemory] = []
-    try:
-        if _TEST_WORKER_FAULT is not None and spec["wid"] == 0:
-            if _TEST_WORKER_FAULT == "hard-exit":
-                os._exit(9)
-            raise _TEST_WORKER_FAULT
-        if spec["kind"] == "snd":
-            _snd_worker(spec, barrier, attached)
-        else:
-            _and_worker(spec, barrier, attached)
-    except threading.BrokenBarrierError:
-        # a peer failed (abort) or vanished (timeout); the nonzero exit code
-        # tells the parent this run produced no trustworthy result
-        sys.exit(3)
-    except BaseException:
-        errq.put((spec["wid"], traceback.format_exc()))
-        barrier.abort()  # unblock peers waiting on the round barrier
-    finally:
-        for shm in attached:
-            try:
-                shm.close()
-            except BufferError:
-                # live views (memoryview casts / numpy frombuffer) pin the
-                # mapping; process exit unmaps it regardless, and the parent
-                # still unlinks the name
-                pass
+def _attach_views(spec: dict, attached: List[shared_memory.SharedMemory]) -> dict:
+    """Attach to every segment named in ``spec`` and build the typed views.
+
+    Called once per worker process — one-shot workers use the views for a
+    single job, persistent workers keep them across jobs (the numpy SND
+    sweep closure is cached lazily under ``"snd_sweep"``).
+    """
+    names = spec["names"]
+    off_shm = _attach(names["ctx_offsets"], attached)
+    cm_shm = _attach(names["ctx_members"], attached)
+    views = {
+        "off_shm": off_shm,
+        "cm_shm": cm_shm,
+        "ctx_off": memoryview(off_shm.buf).cast("q"),
+        "cm": memoryview(cm_shm.buf).cast("q"),
+        "counts": memoryview(_attach(names["counts"], attached).buf).cast("q"),
+        "proc": memoryview(_attach(names["proc"], attached).buf).cast("q"),
+        "meta": memoryview(_attach(names["meta"], attached).buf).cast("q"),
+    }
+    tau_shms = [_attach(names["tau_a"], attached)]
+    if "tau_b" in names:
+        tau_shms.append(_attach(names["tau_b"], attached))
+    views["tau_shms"] = tau_shms
+    views["tau"] = [memoryview(s.buf).cast("q") for s in tau_shms]
+    if "nbr_offsets" in names:
+        views["nbr_off"] = memoryview(_attach(names["nbr_offsets"], attached).buf).cast("q")
+        views["nbr_mem"] = memoryview(_attach(names["nbr_members"], attached).buf).cast("q")
+        views["active"] = memoryview(_attach(names["active"], attached).buf).cast("b")
+    else:
+        views["nbr_off"] = views["nbr_mem"] = views["active"] = None
+    return views
+
+
+def _close_attached(
+    attached: List[shared_memory.SharedMemory], views: Optional[dict] = None
+) -> None:
+    if views is not None:
+        # drop the memoryview casts / numpy views first: they pin the
+        # mappings, and leaving them alive would resurface as noisy
+        # ``BufferError`` "exception ignored" reports from SharedMemory's
+        # __del__ at interpreter shutdown
+        views.clear()
+    for shm in attached:
+        try:
+            shm.close()
+        except BufferError:
+            # a surviving view still pins the mapping; process exit unmaps
+            # it regardless, and the parent still unlinks the name
+            pass
+
+
+def _run_job(views: dict, spec: dict, job: dict, barrier) -> None:
+    """Run one decomposition job (SND or AND) over this worker's chunk."""
+    if job["kind"] == "snd":
+        _snd_job(views, spec, job, barrier)
+    else:
+        _and_job(views, spec, job, barrier)
 
 
 def _round_sync(barrier, counts_mv, wid: int, updated: int, timeout: float) -> int:
@@ -189,30 +302,33 @@ def _round_sync(barrier, counts_mv, wid: int, updated: int, timeout: float) -> i
     return total
 
 
-def _snd_worker(spec: dict, barrier, attached) -> None:
+def _snd_job(views: dict, spec: dict, job: dict, barrier) -> None:
     """Jacobi SND sweeps over one chunk with a double-buffered shared τ."""
-    names = spec["names"]
     n = spec["n"]
     stride = spec["stride"]
     lo, hi = spec["bounds"]
     wid = spec["wid"]
-    max_rounds = spec["max_iterations"]
     timeout = spec["barrier_timeout"]
+    max_rounds = job["max_iterations"]
+    counts_mv = views["counts"]
+    meta_mv = views["meta"]
 
-    off_shm = _attach(names["ctx_offsets"], attached)
-    cm_shm = _attach(names["ctx_members"], attached)
-    tau_shm = [_attach(names["tau_a"], attached), _attach(names["tau_b"], attached)]
-    counts_mv = memoryview(_attach(names["counts"], attached).buf).cast("q")
-    meta_mv = memoryview(_attach(names["meta"], attached).buf).cast("q")
-
-    ctx_off = memoryview(off_shm.buf).cast("q")
     use_numpy = _np is not None
     if use_numpy:
-        tau_views = [_np.frombuffer(s.buf, dtype=_np.int64, count=n) for s in tau_shm]
-        sweep = _make_numpy_sweep(cm_shm, off_shm, n, stride, lo, hi)
+        if "snd_sweep" not in views:
+            views["snd_sweep"] = _make_numpy_sweep(
+                views["cm_shm"], views["off_shm"], n, stride, lo, hi
+            )
+            views["tau_np"] = [
+                _np.frombuffer(s.buf, dtype=_np.int64, count=n)
+                for s in views["tau_shms"]
+            ]
+        sweep = views["snd_sweep"]
+        tau_views = views["tau_np"]
     else:
-        tau_views = [memoryview(s.buf).cast("q") for s in tau_shm]
-        cm = memoryview(cm_shm.buf).cast("q")
+        tau_views = views["tau"]
+        ctx_off = views["ctx_off"]
+        cm = views["cm"]
 
     rounds = 0
     cur = 0
@@ -233,6 +349,7 @@ def _snd_worker(spec: dict, barrier, attached) -> None:
         if total == 0:
             converged = True
             break
+    views["proc"][wid] = rounds * (hi - lo)
     if wid == 0:
         meta_mv[_META_ROUNDS] = rounds
         meta_mv[_META_CONVERGED] = 1 if converged else 0
@@ -296,39 +413,65 @@ def _sweep_snd_python(ctx_off, cm, stride, prev, nxt, lo: int, hi: int) -> int:
     return updated
 
 
-def _and_worker(spec: dict, barrier, attached) -> None:
+def _and_job(views: dict, spec: dict, job: dict, barrier) -> None:
     """Asynchronous AND rounds over one *owned* chunk of a single shared τ.
 
     The worker is the only writer of ``τ[lo:hi]``; within a round it applies
     updates in place (Gauss–Seidel over its own chunk) while neighbours in
     other chunks are read at their latest published value (snapshotted at
     round start — any published value is valid because τ only decreases).
-    A round in which *no* worker publishes an update is a global fixed
-    point, detected via the shared per-worker counts.
+
+    With ``job["notification"]`` the shared active bitmap restricts a round
+    to the cliques flagged since their last scan: the flag is *claimed*
+    (cleared) before the scan, so a concurrent cross-chunk τ decrease either
+    lands in the values the scan reads or re-raises the flag for the next
+    round.  Because flag stores from another process may still race the
+    snapshot, a zero-update active round is only a *candidate* fixed point:
+    it is confirmed by one full verification sweep, and any update found
+    there resumes the active rounds.  Termination therefore always means a
+    full sweep saw zero updates — exactly the serial criterion — so κ equals
+    the serial kernels' unique fixed point regardless of flag races.
     """
-    names = spec["names"]
-    n = spec["n"]
     stride = spec["stride"]
     lo, hi = spec["bounds"]
     wid = spec["wid"]
-    max_rounds = spec["max_iterations"]
     timeout = spec["barrier_timeout"]
-
-    ctx_off = memoryview(_attach(names["ctx_offsets"], attached).buf).cast("q")
-    cm = memoryview(_attach(names["ctx_members"], attached).buf).cast("q")
-    tau_mv = memoryview(_attach(names["tau_a"], attached).buf).cast("q")
-    counts_mv = memoryview(_attach(names["counts"], attached).buf).cast("q")
-    meta_mv = memoryview(_attach(names["meta"], attached).buf).cast("q")
+    max_rounds = job["max_iterations"]
+    ctx_off = views["ctx_off"]
+    cm = views["cm"]
+    tau_mv = views["tau"][0]
+    counts_mv = views["counts"]
+    meta_mv = views["meta"]
+    active = views["active"]
+    nbr_off = views["nbr_off"]
+    nbr_mem = views["nbr_mem"]
+    use_active = bool(job.get("notification")) and active is not None
 
     rounds = 0
     converged = False
     updates_total = 0
+    processed = 0
+    # the first round always sweeps everything (every flag starts raised);
+    # later the flag is re-entered as the verification sweep before stopping
+    full_sweep = True
     while True:
         if max_rounds is not None and rounds >= max_rounds:
             break
-        tau = tau_mv.tolist()  # latest published values (own chunk = freshest)
+        if use_active and not full_sweep:
+            # sparse active round: skip the O(n) snapshot copy and read the
+            # shared view directly — any published value is valid (τ only
+            # decreases), and the few flagged cliques do not amortise a
+            # full-array copy the way a full sweep does
+            tau = tau_mv
+        else:
+            tau = tau_mv.tolist()  # latest published values, faster indexing
         updated = 0
         for i in range(lo, hi):
+            if use_active:
+                if not full_sweep and not active[i]:
+                    continue
+                active[i] = 0  # claim before reading any neighbour value
+            processed += 1
             current = tau[i]
             if current == 0:
                 continue  # τ is non-increasing: settled for good
@@ -344,26 +487,99 @@ def _and_worker(spec: dict, barrier, attached) -> None:
                 append(v)
             new_value = h_index(rho_values)
             if new_value != current:
-                tau[i] = new_value
+                if tau is not tau_mv:
+                    tau[i] = new_value
                 tau_mv[i] = new_value  # publish immediately
                 updated += 1
+                if use_active:
+                    for p in range(nbr_off[i], nbr_off[i + 1]):
+                        active[nbr_mem[p]] = 1  # cross-chunk notification
         total = _round_sync(barrier, counts_mv, wid, updated, timeout)
         updates_total += total
         rounds += 1
         if total == 0:
-            converged = True
-            break
+            if full_sweep:
+                converged = True
+                break
+            full_sweep = True  # verify the candidate fixed point fully
+        elif use_active:
+            full_sweep = False
+    views["proc"][wid] = processed
     if wid == 0:
         meta_mv[_META_ROUNDS] = rounds
         meta_mv[_META_CONVERGED] = 1 if converged else 0
         meta_mv[_META_UPDATES] = updates_total
 
 
+def _worker_main(spec: dict, barrier, errq) -> None:
+    """Entry point of one one-shot worker process (SND or AND)."""
+    attached: List[shared_memory.SharedMemory] = []
+    views: Optional[dict] = None
+    try:
+        if _TEST_WORKER_FAULT is not None and spec["wid"] == 0:
+            if _TEST_WORKER_FAULT == "hard-exit":
+                os._exit(9)
+            raise _TEST_WORKER_FAULT
+        views = _attach_views(spec, attached)
+        job = {
+            "kind": spec["kind"],
+            "max_iterations": spec["max_iterations"],
+            "notification": spec.get("notification", True),
+        }
+        _run_job(views, spec, job, barrier)
+    except threading.BrokenBarrierError:
+        # a peer failed (abort) or vanished (timeout); the nonzero exit code
+        # tells the parent this run produced no trustworthy result
+        sys.exit(3)
+    except BaseException:
+        errq.put((spec["wid"], traceback.format_exc()))
+        barrier.abort()  # unblock peers waiting on the round barrier
+    finally:
+        _close_attached(attached, views)
+
+
+def _persistent_worker_main(spec: dict, barrier, conn, doneq, errq) -> None:
+    """Job loop of one persistent worker: attach once, sweep many jobs.
+
+    Jobs arrive over ``conn`` (one dict per decomposition call, ``None`` to
+    shut down); each finished job is acknowledged on ``doneq`` together with
+    its generation number so the parent never mistakes a stale message for
+    the current job's completion.
+    """
+    attached: List[shared_memory.SharedMemory] = []
+    views: Optional[dict] = None
+    try:
+        if _TEST_WORKER_FAULT is not None and spec["wid"] == 0:
+            if _TEST_WORKER_FAULT == "hard-exit":
+                os._exit(9)
+            raise _TEST_WORKER_FAULT
+        views = _attach_views(spec, attached)
+        while True:
+            try:
+                job = conn.recv()
+            except EOFError:
+                break  # parent vanished; nothing left to sweep
+            if job is None:
+                break
+            _run_job(views, spec, job, barrier)
+            doneq.put((spec["wid"], job["gen"]))
+    except threading.BrokenBarrierError:
+        sys.exit(3)
+    except BaseException:
+        errq.put((spec["wid"], traceback.format_exc()))
+        barrier.abort()
+    finally:
+        _close_attached(attached, views)
+
+
 # ----------------------------------------------------------------------
 # parent side
 # ----------------------------------------------------------------------
 class ProcessPoolBackend:
-    """Multi-core decomposition runner over shared CSR buffers.
+    """One-shot multi-core decomposition runner over shared CSR buffers.
+
+    Every call forks fresh workers and creates fresh shared-memory segments;
+    use :class:`PersistentPool` to amortise that setup across many calls.
 
     Parameters
     ----------
@@ -402,14 +618,29 @@ class ProcessPoolBackend:
         return self._run("snd", space, max_iterations)
 
     def run_and(
-        self, space: CSRSpace, *, max_iterations: Optional[int] = None
+        self,
+        space: CSRSpace,
+        *,
+        max_iterations: Optional[int] = None,
+        notification: bool = True,
     ) -> DecompositionResult:
-        """Asynchronous AND with per-chunk τ ownership; κ matches serial."""
-        return self._run("and", space, max_iterations)
+        """Asynchronous AND with per-chunk τ ownership; κ matches serial.
+
+        ``notification=True`` (default) sweeps only the cliques whose shared
+        active flag is raised, re-activating neighbours across chunk
+        boundaries on every τ decrease; ``False`` sweeps every chunk fully
+        each round (the pre-notification schedule, kept for measuring the
+        redundant work).
+        """
+        return self._run("and", space, max_iterations, notification=notification)
 
     # ------------------------------------------------------------------
     def _run(
-        self, kind: str, space: CSRSpace, max_iterations: Optional[int]
+        self,
+        kind: str,
+        space: CSRSpace,
+        max_iterations: Optional[int],
+        notification: bool = True,
     ) -> DecompositionResult:
         n = len(space)
         algorithm = f"{kind}-process"
@@ -428,14 +659,14 @@ class ProcessPoolBackend:
         arena = SharedCSRBuffers()
         procs: List = []
         try:
-            arena.create_from("ctx_offsets", space.ctx_offsets)
-            arena.create_from("ctx_members", space.ctx_members)
-            arena.create_from("tau_a", degrees)
-            if kind == "snd":
-                arena.create("tau_b", n * _ITEMSIZE)
-            arena.create("counts", num_workers * _ITEMSIZE)
-            meta = arena.create("meta", _META_SLOTS * _ITEMSIZE)
-
+            _create_shared_space(
+                arena,
+                space,
+                degrees,
+                num_workers,
+                double_tau=kind == "snd",
+                neighbours=kind == "and" and notification,
+            )
             shared_nbytes = arena.nbytes()
             barrier = self._ctx.Barrier(num_workers)
             errq = self._ctx.SimpleQueue()
@@ -449,6 +680,7 @@ class ProcessPoolBackend:
                     "bounds": bounds,
                     "wid": wid,
                     "max_iterations": max_iterations,
+                    "notification": notification,
                     "barrier_timeout": self.barrier_timeout,
                 }
                 proc = self._ctx.Process(
@@ -469,17 +701,9 @@ class ProcessPoolBackend:
                     f"process-pool workers died with exit codes {bad}"
                 )
 
-            # copy results out with bytes() so no view outlives the segments
-            # (SharedMemory.close refuses to run with exported pointers)
-            meta_arr = array("q")
-            meta_arr.frombytes(bytes(meta.buf[:_META_SLOTS * _ITEMSIZE]))
-            rounds = meta_arr[_META_ROUNDS]
-            converged = bool(meta_arr[_META_CONVERGED])
-            updates_total = meta_arr[_META_UPDATES]
-            final_tag = "tau_a" if kind == "and" or rounds % 2 == 0 else "tau_b"
-            kappa_arr = array("q")
-            kappa_arr.frombytes(bytes(arena.get(final_tag).buf[:n * _ITEMSIZE]))
-            kappa = kappa_arr.tolist()
+            rounds, converged, updates_total, processed, kappa = _extract_result(
+                arena, kind, n, num_workers
+            )
         finally:
             for p in procs:
                 if p.is_alive():
@@ -487,20 +711,24 @@ class ProcessPoolBackend:
                 p.join()
             arena.destroy()
 
+        operations = {
+            "workers": num_workers,
+            "parallel": "process",
+            "backend": "csr",
+            "chunks": num_workers,
+            "updates": updates_total,
+            "processed": processed,
+            "shared_nbytes": shared_nbytes,
+        }
+        if kind == "and":
+            operations["notification"] = notification
         return DecompositionResult.from_space(
             space,
             algorithm=algorithm,
             kappa=kappa,
             iterations=rounds,
             converged=converged,
-            operations={
-                "workers": num_workers,
-                "parallel": "process",
-                "backend": "csr",
-                "chunks": num_workers,
-                "updates": updates_total,
-                "shared_nbytes": shared_nbytes,
-            },
+            operations=operations,
         )
 
     def _wait(self, procs) -> None:
@@ -528,6 +756,322 @@ class ProcessPoolBackend:
                     for q in pending:
                         q.join()
                     return
+
+
+class PersistentPool:
+    """Reusable process pool: fork once per space, decompose many times.
+
+    The first :meth:`run_snd` / :meth:`run_and` call on a space creates the
+    shared segments and forks the workers; subsequent calls on the *same*
+    space object only reset the τ/meta buffers and send a job description
+    down each worker's pipe, so a sweep of many decompositions pays the fork
+    and segment setup once.  Calling with a different space tears the old
+    binding down and rebinds.  Always release the pool — it is a context
+    manager, or call :meth:`close` explicitly:
+
+    >>> with PersistentPool(workers=4) as pool:              # doctest: +SKIP
+    ...     first = pool.run_snd(space)    # forks + creates segments
+    ...     second = pool.run_and(space)   # reuses both
+    ...     capped = pool.run_snd(space, max_iterations=2)
+
+    A failed or interrupted job leaves the worker barriers in an unknown
+    state, so any error closes the pool; κ parity with the serial kernels is
+    the same contract as :class:`ProcessPoolBackend` (the workers run the
+    identical sweep kernels).  The source-reuse cache is keyed on the source
+    object *and* its ``(r, s)`` instance — the same Graph at a different
+    instance rebinds — but a source **mutated in place** between calls is
+    not detected; rebuild or re-pass a fresh object after mutating.
+
+    Attributes
+    ----------
+    forks:
+        Total worker processes forked over the pool's lifetime — one batch
+        per binding, **not** per call; tests and benchmarks assert on it.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        *,
+        start_method: Optional[str] = None,
+        barrier_timeout: float = 600.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if start_method is None and "fork" in mp.get_all_start_methods():
+            start_method = "fork"
+        self.workers = workers
+        self.barrier_timeout = barrier_timeout
+        self.forks = 0
+        self._ctx = mp.get_context(start_method)
+        self._closed = False
+        self._source = None
+        self._source_rs: Optional[tuple] = None
+        self._space: Optional[CSRSpace] = None
+        self._arena: Optional[SharedCSRBuffers] = None
+        self._procs: List = []
+        self._conns: List = []
+        self._doneq = None
+        self._errq = None
+        self._num_workers = 0
+        self._degree_bytes = b""
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Stop the workers and unlink every shared segment (idempotent)."""
+        self._teardown(graceful=True)
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    def run_snd(
+        self,
+        source: Union[Graph, NucleusSpace, CSRSpace],
+        r: Optional[int] = None,
+        s: Optional[int] = None,
+        *,
+        max_iterations: Optional[int] = None,
+    ) -> DecompositionResult:
+        """SND Jacobi on the persistent workers; κ, iterations match serial."""
+        return self._run("snd", source, r, s, max_iterations=max_iterations,
+                         notification=False)
+
+    def run_and(
+        self,
+        source: Union[Graph, NucleusSpace, CSRSpace],
+        r: Optional[int] = None,
+        s: Optional[int] = None,
+        *,
+        max_iterations: Optional[int] = None,
+        notification: bool = True,
+    ) -> DecompositionResult:
+        """Asynchronous AND on the persistent workers; κ matches serial."""
+        return self._run("and", source, r, s, max_iterations=max_iterations,
+                         notification=notification)
+
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        kind: str,
+        source,
+        r: Optional[int],
+        s: Optional[int],
+        *,
+        max_iterations: Optional[int],
+        notification: bool,
+    ) -> DecompositionResult:
+        if self._closed:
+            raise RuntimeError("PersistentPool is closed")
+        if (
+            source is self._source
+            and (r, s) == self._source_rs
+            and self._space is not None
+        ):
+            # repeated call on the same source *and* instance: skip the
+            # conversion (same Graph at a different (r, s) is a new space)
+            space = self._space
+        else:
+            space = _as_csr(source, r, s)
+        n = len(space)
+        algorithm = f"{kind}-process"
+        if n == 0:
+            result = snd_decomposition_csr(space, max_iterations=max_iterations)
+            result.algorithm = algorithm
+            result.operations = {
+                "workers": 0, "parallel": "process", "backend": "csr",
+                "persistent": True,
+            }
+            return result
+        try:
+            self._bind(space, source, (r, s))
+            self._reset_buffers()
+            self._generation += 1
+            job = {
+                "kind": kind,
+                "max_iterations": max_iterations,
+                "notification": notification,
+                "gen": self._generation,
+            }
+            for conn in self._conns:
+                try:
+                    conn.send(job)
+                except (BrokenPipeError, OSError):
+                    # the worker died before the job could even be sent;
+                    # _collect reports the death with its exit code
+                    pass
+            self._collect(self._generation)
+            rounds, converged, updates_total, processed, kappa = _extract_result(
+                self._arena, kind, n, self._num_workers
+            )
+            shared_nbytes = self._arena.nbytes()
+        except BaseException:
+            # a failed or interrupted job leaves the round barrier and the
+            # worker pipes in an unknown state: the pool cannot be reused
+            self._teardown(graceful=False)
+            self._closed = True
+            raise
+
+        operations = {
+            "workers": self._num_workers,
+            "parallel": "process",
+            "backend": "csr",
+            "chunks": self._num_workers,
+            "updates": updates_total,
+            "processed": processed,
+            "shared_nbytes": shared_nbytes,
+            "persistent": True,
+            "forks": self.forks,
+        }
+        if kind == "and":
+            operations["notification"] = notification
+        return DecompositionResult.from_space(
+            space,
+            algorithm=algorithm,
+            kappa=kappa,
+            iterations=rounds,
+            converged=converged,
+            operations=operations,
+        )
+
+    # ------------------------------------------------------------------
+    def _bind(self, space: CSRSpace, source, rs: tuple) -> None:
+        """Create segments and fork workers for ``space`` (idempotent)."""
+        if space is self._space:
+            # same binding; refresh the source cache key (e.g. the same
+            # CSRSpace passed with explicit instead of implicit r/s)
+            self._source = source
+            self._source_rs = rs
+            return
+        self._teardown(graceful=True)  # rebinding: drop the old workers
+        n = len(space)
+        ranges = weighted_ranges(space.ctx_offsets, self.workers)
+        degrees = array("q", [
+            space.ctx_offsets[i + 1] - space.ctx_offsets[i] for i in range(n)
+        ])
+        self._num_workers = len(ranges)
+        self._degree_bytes = degrees.tobytes()
+        self._arena = SharedCSRBuffers(prefix="rp")
+        try:
+            # a persistent binding creates every segment any job kind needs
+            _create_shared_space(
+                self._arena, space, degrees, self._num_workers,
+                double_tau=True, neighbours=True,
+            )
+            barrier = self._ctx.Barrier(self._num_workers)
+            self._doneq = self._ctx.SimpleQueue()
+            self._errq = self._ctx.SimpleQueue()
+            names = dict(self._arena.names)
+            for wid, bounds in enumerate(ranges):
+                spec = {
+                    "names": names,
+                    "n": n,
+                    "stride": space.stride,
+                    "bounds": bounds,
+                    "wid": wid,
+                    "barrier_timeout": self.barrier_timeout,
+                }
+                parent_conn, child_conn = self._ctx.Pipe()
+                proc = self._ctx.Process(
+                    target=_persistent_worker_main,
+                    args=(spec, barrier, child_conn, self._doneq, self._errq),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        except BaseException:
+            self._teardown(graceful=False)
+            raise
+        self._space = space
+        self._source = source
+        self._source_rs = rs
+        self.forks += self._num_workers
+
+    def _reset_buffers(self) -> None:
+        """Re-initialise the per-call buffers (τ, counts, flags, meta)."""
+        arena = self._arena
+        n = len(self._space)
+        arena.get("tau_a").buf[:len(self._degree_bytes)] = self._degree_bytes
+        for tag, nbytes in (
+            ("tau_b", n * _ITEMSIZE),
+            ("counts", self._num_workers * _ITEMSIZE),
+            ("proc", self._num_workers * _ITEMSIZE),
+            ("meta", _META_SLOTS * _ITEMSIZE),
+        ):
+            arena.get(tag).buf[:nbytes] = bytes(nbytes)
+        arena.get("active").buf[:n] = b"\x01" * n
+
+    def _collect(self, generation: int) -> None:
+        """Wait for every worker's done message, failing fast on any death."""
+        done = 0
+        while done < self._num_workers:
+            while not self._doneq.empty():
+                _, gen = self._doneq.get()
+                if gen == generation:
+                    done += 1
+            if done >= self._num_workers:
+                return
+            if not self._errq.empty():
+                wid, tb = self._errq.get()
+                raise RuntimeError(f"persistent-pool worker {wid} failed:\n{tb}")
+            dead = [p.exitcode for p in self._procs if p.exitcode not in (None, 0)]
+            if dead:
+                # give a raising worker a moment to land its traceback — the
+                # exit code can become visible before the queue message
+                deadline = time.monotonic() + 1.0
+                while time.monotonic() < deadline and self._errq.empty():
+                    time.sleep(0.01)
+                if not self._errq.empty():
+                    wid, tb = self._errq.get()
+                    raise RuntimeError(
+                        f"persistent-pool worker {wid} failed:\n{tb}"
+                    )
+                raise RuntimeError(
+                    f"persistent-pool workers died with exit codes {dead}"
+                )
+            time.sleep(0.002)
+
+    def _teardown(self, *, graceful: bool) -> None:
+        """Stop workers and destroy segments; safe to call repeatedly."""
+        procs, conns, arena = self._procs, self._conns, self._arena
+        self._procs, self._conns, self._arena = [], [], None
+        self._space = None
+        self._source = None
+        self._source_rs = None
+        self._num_workers = 0
+        if graceful:
+            for conn in conns:
+                try:
+                    conn.send(None)  # shutdown command
+                except (BrokenPipeError, OSError):
+                    pass
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if graceful:
+            for p in procs:
+                p.join(timeout=5.0)
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            p.join()
+        if arena is not None:
+            arena.destroy()
 
 
 def process_snd_decomposition(
@@ -559,14 +1103,19 @@ def process_and_decomposition(
     *,
     workers: int = 4,
     max_iterations: Optional[int] = None,
+    notification: bool = True,
     start_method: Optional[str] = None,
 ) -> DecompositionResult:
     """Asynchronous AND on a process pool with per-chunk τ ownership.
 
     Each worker owns a contiguous chunk of the shared τ array and updates it
-    in place; the final κ equals the serial algorithms' output (unique fixed
-    point), though the round count depends on the partitioning.
+    in place; ``notification=True`` (default) additionally shares a
+    per-clique active bitmap so each round sweeps only the cliques whose
+    neighbourhood changed, with cross-chunk re-activation.  The final κ
+    equals the serial algorithms' output (unique fixed point), though the
+    round count depends on the partitioning.
     """
     space = _as_csr(source, r, s)
     backend = ProcessPoolBackend(workers, start_method=start_method)
-    return backend.run_and(space, max_iterations=max_iterations)
+    return backend.run_and(space, max_iterations=max_iterations,
+                           notification=notification)

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.core.csr import (
     CSRSpace,
     chunk_ranges,
+    resolve_process_backend,
     resolve_space_for_backend,
 )
 from repro.core.hindex import h_index
@@ -77,11 +78,7 @@ def parallel_snd_decomposition(
             f"unknown parallel mode {parallel!r}; expected one of {PARALLEL_MODES}"
         )
     if parallel == "process":
-        if backend == "dict":
-            raise ValueError(
-                "parallel='process' runs on the shared CSR buffers; "
-                "backend='dict' cannot be honoured (use 'csr' or 'auto')"
-            )
+        resolve_process_backend(backend)  # "auto" means "csr"; "dict" errors
         from repro.parallel.procpool import process_snd_decomposition
 
         return process_snd_decomposition(

@@ -14,6 +14,8 @@ class TestParser:
         args = build_parser().parse_args(["decompose"])
         assert args.dataset == "fb"
         assert args.algorithm == "and"
+        assert args.workers is None
+        assert args.parallel is None
 
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
@@ -88,3 +90,60 @@ class TestCommands:
     def test_plateaus_command(self, capsys):
         assert main(["plateaus", "--dataset", "toy"]) == 0
         assert "Figure 5" in capsys.readouterr().out
+
+
+class TestDecomposeWorkers:
+    def test_workers_without_parallel_errors(self, capsys):
+        """Regression: a bare --workers used to be silently discarded."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["decompose", "--dataset", "toy", "--workers", "3"])
+        assert excinfo.value.code == 2
+        assert "--parallel" in capsys.readouterr().err
+
+    def test_workers_with_parallel_process(self, capsys):
+        assert (
+            main(
+                [
+                    "decompose",
+                    "--dataset",
+                    "toy",
+                    "--r",
+                    "1",
+                    "--s",
+                    "2",
+                    "--parallel",
+                    "process",
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "decomposition" in out
+
+    def test_parallel_without_workers_uses_default(self, capsys):
+        assert (
+            main(
+                [
+                    "decompose",
+                    "--dataset",
+                    "toy",
+                    "--r",
+                    "1",
+                    "--s",
+                    "2",
+                    "--parallel",
+                    "process",
+                ]
+            )
+            == 0
+        )
+        assert "decomposition" in capsys.readouterr().out
+
+    def test_workers_allowed_for_other_commands(self, capsys):
+        # scalability --measured has its own --workers; must stay unaffected
+        args = build_parser().parse_args(
+            ["scalability", "--measured", "--workers", "1", "2"]
+        )
+        assert args.workers == [1, 2]

@@ -16,7 +16,9 @@ from repro.core.csr import (
     HAVE_NUMPY,
     CSRSpace,
     and_decomposition_csr,
+    estimate_r_clique_count,
     resolve_backend,
+    resolve_process_backend,
     snd_decomposition_csr,
 )
 from repro.core.decomposition import nucleus_decomposition
@@ -136,6 +138,30 @@ class TestFromGraph:
             assert direct.cliques == via_dict.cliques
             assert list(direct.ctx_members) == list(via_dict.ctx_members)
 
+    @pytest.mark.parametrize("rs", INSTANCES + [(2, 4), (1, 3)])
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            Graph(),                                         # empty
+            Graph(vertices=[0, 1, 2, 3]),                    # only isolated vertices
+            Graph(edges=[(0, 1), (2, 3)], vertices=[4, 5]),  # isolated + edges
+            Graph(edges=[(0, 1), (1, 2), (2, 3)]),           # path: no s-cliques
+            Graph(edges=[("a", "b"), ("b", "c")], vertices=["z"]),  # non-int labels
+        ],
+        ids=["empty", "isolated", "mixed", "path", "labels"],
+    )
+    def test_degenerate_inputs_byte_identical(self, graph, rs):
+        """Empty graphs, isolated vertices and zero-s-clique spaces must
+        flatten to exactly the arrays the dict-then-convert path produces."""
+        direct = CSRSpace.from_graph(graph, *rs)
+        direct.validate()
+        via_dict = NucleusSpace(graph, *rs).to_csr()
+        assert direct.cliques == via_dict.cliques
+        assert list(direct.ctx_offsets) == list(via_dict.ctx_offsets)
+        assert list(direct.ctx_members) == list(via_dict.ctx_members)
+        assert list(direct.nbr_offsets) == list(via_dict.nbr_offsets)
+        assert list(direct.nbr_members) == list(via_dict.nbr_members)
+
     def test_kappa_parity_all_algorithms(self, any_graph):
         direct = CSRSpace.from_graph(any_graph, 2, 3)
         exact = peeling_decomposition(any_graph, 2, 3, backend="dict")
@@ -183,6 +209,59 @@ class TestBackendSelection:
         assert resolve_backend("auto", space) == "csr"
         result = and_decomposition(space)  # backend="auto"
         assert result.operations.get("backend") == "csr"
+
+    @pytest.mark.parametrize("rs", INSTANCES + [(2, 4)])
+    def test_estimator_exact(self, any_graph, rs):
+        r = rs[0]
+        expected = len(NucleusSpace(any_graph, *rs))
+        assert estimate_r_clique_count(any_graph, r) == expected
+
+    def test_estimator_early_exit(self):
+        graph = powerlaw_cluster_graph(200, 4, 0.4, seed=9)
+        full = estimate_r_clique_count(graph, 2)
+        assert full == graph.number_of_edges()
+        capped = estimate_r_clique_count(graph, 3, limit=10)
+        assert capped == 10  # stops counting at the limit
+        assert estimate_r_clique_count(graph, 3) >= 10
+        with pytest.raises(ValueError):
+            estimate_r_clique_count(graph, 0)
+
+    def test_auto_routes_large_graph_straight_to_csr(self, monkeypatch):
+        """backend='auto' on a large Graph must never build the dict space."""
+        graph = powerlaw_cluster_graph(400, 4, 0.3, seed=4)
+        assert graph.number_of_vertices() >= AUTO_CSR_THRESHOLD
+        expected = peeling_decomposition(graph, 1, 2, backend="dict").kappa
+
+        def forbidden(self, *args, **kwargs):
+            raise AssertionError("NucleusSpace built on the auto CSR route")
+
+        monkeypatch.setattr(NucleusSpace, "__init__", forbidden)
+        result = nucleus_decomposition(graph, 1, 2, algorithm="snd", backend="auto")
+        assert result.kappa == expected
+        assert result.operations["backend"] == "csr"
+
+    def test_auto_keeps_dict_for_small_graph(self, triangle_graph):
+        result = nucleus_decomposition(triangle_graph, 1, 2, algorithm="and")
+        assert result.operations["backend"] == "dict"
+
+    def test_resolve_process_backend(self):
+        assert resolve_process_backend("auto") == "csr"
+        assert resolve_process_backend("csr") == "csr"
+        with pytest.raises(ValueError, match="dict"):
+            resolve_process_backend("dict")
+        with pytest.raises(ValueError, match="magic"):
+            resolve_process_backend("magic")
+
+    def test_process_pool_never_resolves_dict(self, small_powerlaw_graph):
+        """Regression: a small prebuilt NucleusSpace with backend='auto' and
+        parallel='process' must run on CSR, not fall back to dict sizing."""
+        space = NucleusSpace(small_powerlaw_graph, 1, 2)
+        assert resolve_backend("auto", space) == "dict"  # small: auto says dict
+        result = nucleus_decomposition(
+            space, parallel="process", algorithm="snd", workers=2, backend="auto"
+        )
+        assert result.operations["backend"] == "csr"
+        assert result.kappa == peeling_decomposition(space).kappa
 
     def test_csr_space_rejects_dict_backend(self):
         csr = NucleusSpace(ring_of_cliques(3, 4), 1, 2).to_csr()

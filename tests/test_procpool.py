@@ -1,13 +1,18 @@
 """Process-pool backend: κ parity and shared-memory segment lifecycle.
 
-Two contracts under test:
+Three contracts under test:
 
 * the pool output is byte-identical to the serial kernels (and for SND even
   the iteration count matches — the Jacobi schedule is deterministic no
-  matter how many workers sweep it);
+  matter how many workers sweep it), for the one-shot and the persistent
+  pool alike, with and without the AND notification bitmap;
 * every shared-memory segment the parent creates is unlinked again on
-  normal exit, on worker failure and on KeyboardInterrupt — no leaked
-  ``/dev/shm`` entries, no matter how the run ends.
+  normal exit, on worker failure, on KeyboardInterrupt and on
+  ``PersistentPool.close`` — no leaked ``/dev/shm`` entries, no matter how
+  the run ends;
+* the persistent pool actually persists: repeated calls on the same space
+  fork no new workers, and the τ/meta buffer reset makes every call produce
+  the same answer as a fresh pool.
 """
 
 import multiprocessing as mp
@@ -23,6 +28,7 @@ from repro.graph.generators import ring_of_cliques
 from repro.graph.graph import Graph
 from repro.parallel import procpool
 from repro.parallel.procpool import (
+    PersistentPool,
     ProcessPoolBackend,
     SharedCSRBuffers,
     process_and_decomposition,
@@ -108,6 +114,217 @@ class TestKappaParity:
     def test_invalid_workers(self):
         with pytest.raises(ValueError):
             ProcessPoolBackend(0)
+        with pytest.raises(ValueError):
+            PersistentPool(0)
+
+    @pytest.mark.parametrize("rs", [(2, 3), (3, 4)])
+    def test_zero_s_clique_space(self, rs):
+        """r-cliques without any s-clique: empty shared context buffers.
+
+        Regression test — the 1-byte minimum segment an empty buffer used to
+        get cannot be ``cast("q")``, which crashed every worker.
+        """
+        path = Graph([(0, 1), (1, 2), (2, 3)])  # no triangles, no 4-cliques
+        csr = CSRSpace.from_graph(path, *rs)
+        assert len(csr) > 0 if rs == (2, 3) else len(csr) == 0
+        for runner in (process_snd_decomposition, process_and_decomposition):
+            result = runner(csr, workers=2)
+            assert result.kappa == [0] * len(csr)
+            assert result.converged
+
+
+class TestNotificationAND:
+    """The shared active bitmap of the AND pool (cross-chunk notification)."""
+
+    @pytest.mark.parametrize("rs", [(1, 2), (2, 3)])
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_active_sweep_parity(self, small_powerlaw_graph, rs, workers):
+        csr = CSRSpace.from_graph(small_powerlaw_graph, *rs)
+        exact = peeling_decomposition(csr).kappa
+        for notification in (True, False):
+            result = process_and_decomposition(
+                csr, workers=workers, notification=notification
+            )
+            assert result.kappa == exact
+            assert result.converged
+            assert result.operations["notification"] is notification
+
+    def test_active_sweep_visits_fewer_cliques(self, small_powerlaw_graph):
+        csr = CSRSpace.from_graph(small_powerlaw_graph, 2, 3)
+        full = process_and_decomposition(csr, workers=3, notification=False)
+        active = process_and_decomposition(csr, workers=3, notification=True)
+        assert active.kappa == full.kappa
+        # the whole point of the bitmap: strictly fewer clique scans
+        assert active.operations["processed"] < full.operations["processed"]
+        # full sweeps scan every clique every round
+        assert full.operations["processed"] == full.iterations * len(csr)
+
+    def test_dispatch_forwards_notification(self, small_powerlaw_graph):
+        from repro.core.decomposition import nucleus_decomposition
+
+        exact = peeling_decomposition(small_powerlaw_graph, 1, 2).kappa
+        result = nucleus_decomposition(
+            small_powerlaw_graph, 1, 2, algorithm="and", parallel="process",
+            workers=2, notification=False,
+        )
+        assert result.kappa == exact
+        assert result.operations["notification"] is False
+        # snd has no notification mechanism: rejected, not ignored
+        with pytest.raises(ValueError, match="notification"):
+            nucleus_decomposition(
+                small_powerlaw_graph, 1, 2, algorithm="snd",
+                parallel="process", notification=False,
+            )
+
+
+class TestPersistentPool:
+    def test_repeated_calls_match_serial(self, small_powerlaw_graph):
+        csr = CSRSpace.from_graph(small_powerlaw_graph, 2, 3)
+        serial = snd_decomposition(csr)
+        exact = peeling_decomposition(csr).kappa
+        with PersistentPool(workers=3) as pool:
+            for _ in range(3):  # the buffer reset must make calls identical
+                result = pool.run_snd(csr)
+                assert result.kappa == serial.kappa == exact
+                assert result.iterations == serial.iterations
+                assert result.converged
+                assert result.operations["persistent"] is True
+
+    def test_forks_once_per_space(self, small_powerlaw_graph):
+        csr = CSRSpace.from_graph(small_powerlaw_graph, 1, 2)
+        with PersistentPool(workers=2) as pool:
+            pool.run_snd(csr)
+            forks_after_first = pool.forks
+            assert forks_after_first == 2
+            pool.run_snd(csr)
+            pool.run_and(csr)
+            assert pool.forks == forks_after_first  # reused, not re-forked
+
+    def test_mixed_algorithms_share_one_binding(self, small_powerlaw_graph):
+        csr = CSRSpace.from_graph(small_powerlaw_graph, 2, 3)
+        exact = peeling_decomposition(csr).kappa
+        with PersistentPool(workers=2) as pool:
+            assert pool.run_snd(csr).kappa == exact
+            assert pool.run_and(csr).kappa == exact
+            assert pool.run_and(csr, notification=False).kappa == exact
+            assert pool.run_snd(csr).kappa == exact
+            assert pool.forks == 2
+
+    def test_rebind_to_new_space(self, small_powerlaw_graph):
+        first = CSRSpace.from_graph(small_powerlaw_graph, 1, 2)
+        second = CSRSpace.from_graph(small_powerlaw_graph, 2, 3)
+        with PersistentPool(workers=2) as pool:
+            assert pool.run_snd(first).kappa == peeling_decomposition(first).kappa
+            assert pool.run_snd(second).kappa == peeling_decomposition(second).kappa
+            assert pool.forks == 4  # one fork batch per binding
+            # returning to the first space rebinds again (no space cache)
+            assert pool.run_snd(first).kappa == peeling_decomposition(first).kappa
+
+    def test_graph_source_converted_once(self, small_powerlaw_graph):
+        exact = peeling_decomposition(small_powerlaw_graph, 1, 2).kappa
+        with PersistentPool(workers=2) as pool:
+            a = pool.run_snd(small_powerlaw_graph, 1, 2)
+            b = pool.run_snd(small_powerlaw_graph, 1, 2)
+            assert a.kappa == b.kappa == exact
+            assert pool.forks == 2  # same source object: no reconversion/rebind
+
+    def test_same_graph_different_instance_rebinds(self, small_powerlaw_graph):
+        """Regression: the reuse cache must key on (r, s), not the source
+        object alone — the same Graph at a new instance is a new space."""
+        with PersistentPool(workers=2) as pool:
+            cores = pool.run_snd(small_powerlaw_graph, 1, 2)
+            trusses = pool.run_snd(small_powerlaw_graph, 2, 3)
+            assert cores.kappa == peeling_decomposition(
+                small_powerlaw_graph, 1, 2
+            ).kappa
+            assert trusses.kappa == peeling_decomposition(
+                small_powerlaw_graph, 2, 3
+            ).kappa
+            assert len(cores.kappa) != len(trusses.kappa)
+            assert pool.forks == 4  # one fork batch per instance binding
+
+    def test_max_iterations_matches_serial(self, small_powerlaw_graph):
+        csr = CSRSpace.from_graph(small_powerlaw_graph, 2, 3)
+        with PersistentPool(workers=2) as pool:
+            for cap in (0, 1, 3):
+                serial = snd_decomposition(csr, max_iterations=cap)
+                pooled = pool.run_snd(csr, max_iterations=cap)
+                assert pooled.kappa == serial.kappa
+                assert pooled.converged == serial.converged
+                assert pooled.iterations == serial.iterations
+
+    def test_empty_space(self):
+        with PersistentPool(workers=2) as pool:
+            result = pool.run_snd(Graph(), 1, 2)
+            assert result.kappa == []
+            assert result.converged
+            assert pool.forks == 0  # nothing to sweep, nothing forked
+
+    def test_more_workers_than_cliques(self):
+        graph = ring_of_cliques(2, 3)
+        exact = peeling_decomposition(graph, 1, 2).kappa
+        with PersistentPool(workers=64) as pool:
+            result = pool.run_snd(graph, 1, 2)
+            assert result.kappa == exact
+            assert result.operations["workers"] <= len(exact)
+
+    def test_close_is_idempotent_and_final(self, small_powerlaw_graph):
+        pool = PersistentPool(workers=2)
+        csr = CSRSpace.from_graph(small_powerlaw_graph, 1, 2)
+        pool.run_snd(csr)
+        pool.close()
+        pool.close()  # second close must be a no-op
+        assert pool.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.run_snd(csr)
+
+    def test_segments_unlinked_on_close(
+        self, small_powerlaw_graph, captured_segments
+    ):
+        with PersistentPool(workers=2) as pool:
+            pool.run_snd(CSRSpace.from_graph(small_powerlaw_graph, 1, 2))
+        assert_all_unlinked(captured_segments)
+
+    def test_segments_unlinked_on_rebind(
+        self, small_powerlaw_graph, captured_segments
+    ):
+        first = CSRSpace.from_graph(small_powerlaw_graph, 1, 2)
+        second = CSRSpace.from_graph(small_powerlaw_graph, 2, 3)
+        with PersistentPool(workers=2) as pool:
+            pool.run_snd(first)
+            first_segments = list(captured_segments)
+            pool.run_snd(second)
+            # the old binding's segments are gone as soon as the pool rebinds
+            assert_all_unlinked(first_segments)
+        assert_all_unlinked(captured_segments)
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fault injection needs fork")
+    def test_worker_fault_closes_pool(
+        self, small_powerlaw_graph, captured_segments, monkeypatch
+    ):
+        monkeypatch.setattr(
+            procpool, "_TEST_WORKER_FAULT", RuntimeError("injected worker fault")
+        )
+        pool = PersistentPool(workers=3)
+        with pytest.raises(RuntimeError):
+            pool.run_snd(CSRSpace.from_graph(small_powerlaw_graph, 1, 2))
+        assert pool.closed  # a failed job poisons the pool
+        assert_all_unlinked(captured_segments)
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fault injection needs fork")
+    def test_hard_killed_worker_fails_fast(
+        self, small_powerlaw_graph, captured_segments, monkeypatch
+    ):
+        import time
+
+        monkeypatch.setattr(procpool, "_TEST_WORKER_FAULT", "hard-exit")
+        pool = PersistentPool(workers=3)
+        t0 = time.perf_counter()
+        with pytest.raises(RuntimeError, match="exit codes"):
+            pool.run_snd(CSRSpace.from_graph(small_powerlaw_graph, 1, 2))
+        assert time.perf_counter() - t0 < 30.0  # far below barrier_timeout
+        assert pool.closed
+        assert_all_unlinked(captured_segments)
 
 
 class TestSegmentLifecycle:
