@@ -1,0 +1,95 @@
+"""Hierarchy construction: CSR-native vs the dict round-trip.
+
+The application-layer refactor's claim: building the k-(r, s) nucleus
+hierarchy straight from the CSR space a fast kernel run already holds beats
+the historical path, which had to materialise the dict-of-tuples
+``NucleusSpace`` first (the array → dict round-trip) before the hierarchy
+could be assembled.  This bench measures, on the 2000-vertex (2, 3)
+power-law instance used by ``bench_backend_speedup``:
+
+* ``roundtrip_s`` — ``NucleusSpace`` construction + hierarchy on it (what a
+  CSR-backed end-to-end run used to pay);
+* ``dict_s`` — hierarchy construction alone on a prebuilt dict space;
+* ``csr_s`` — hierarchy construction alone on the CSR space (the new
+  end-to-end path; numpy-vectorised s-clique grouping when available).
+
+Forest parity (same rows: ids, k ranges, member counts, densities, parents)
+is asserted in every mode; the speedup target only in full mode, because
+single-shot smoke timings on shared runners are noise.  The recorded ``*_s``
+fields feed the rolling benchmark trend gate (``repro.perf.trend``).
+"""
+
+import time
+
+import pytest
+
+from repro.core.csr import CSRSpace
+from repro.core.hierarchy import build_hierarchy
+from repro.core.peeling import peeling_decomposition
+from repro.core.space import NucleusSpace
+from repro.graph.generators import powerlaw_cluster_graph
+
+FULL_N, SMOKE_N = 2000, 400
+M, P, SEED = 10, 0.9, 5
+
+#: full-mode floor for roundtrip_s / csr_s ("measurably faster", with margin
+#: well below the ~7x observed on a quiet machine)
+ROUNDTRIP_TARGET = 1.5
+
+
+@pytest.fixture(scope="module")
+def workload(request):
+    smoke = request.getfixturevalue("smoke_mode")
+    n = SMOKE_N if smoke else FULL_N
+    graph = powerlaw_cluster_graph(n, M, P, seed=SEED)
+    csr = CSRSpace.from_graph(graph, 2, 3)
+    kappa = peeling_decomposition(csr).kappa
+    return graph, csr, kappa
+
+
+def _best_of(repeats, fn, *args, **kwargs):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_hierarchy_csr_vs_dict_roundtrip(workload, smoke_mode, bench_record):
+    graph, csr, kappa = workload
+    reps = 1 if smoke_mode else 3
+
+    def roundtrip():
+        space = NucleusSpace(graph, 2, 3)
+        return space, build_hierarchy(space, kappa)
+
+    t_roundtrip, (dict_space, h_roundtrip) = _best_of(reps, roundtrip)
+    t_dict, h_dict = _best_of(reps, build_hierarchy, dict_space, kappa)
+    t_csr, h_csr = _best_of(reps, build_hierarchy, csr, kappa)
+
+    # identical forest structure across paths, densities included
+    rows_csr = h_csr.to_rows()
+    assert rows_csr == h_roundtrip.to_rows()
+    assert rows_csr == h_dict.to_rows()
+
+    speedup = t_roundtrip / t_csr if t_csr else float("inf")
+    bench_record(
+        name="hierarchy_build",
+        roundtrip_s=round(t_roundtrip, 4),
+        dict_s=round(t_dict, 4),
+        csr_s=round(t_csr, 4),
+        speedup=round(speedup, 2),
+        nodes=len(h_csr),
+        smoke=smoke_mode,
+    )
+    print(
+        f"\nhierarchy (2,3) on {len(csr)} edges, {len(h_csr)} nuclei: "
+        f"dict round-trip {t_roundtrip * 1000:.1f} ms, dict-only "
+        f"{t_dict * 1000:.1f} ms, csr {t_csr * 1000:.1f} ms -> {speedup:.2f}x"
+    )
+    if not smoke_mode:
+        assert speedup >= ROUNDTRIP_TARGET, (
+            f"CSR hierarchy construction only {speedup:.2f}x faster than the "
+            f"dict round-trip (target {ROUNDTRIP_TARGET}x)"
+        )

@@ -21,6 +21,7 @@ from repro.core import (
     CSRSpace,
     DecompositionResult,
     NucleusSpace,
+    SpaceLike,
     and_decomposition,
     build_hierarchy,
     core_decomposition,
@@ -39,6 +40,7 @@ __all__ = [
     "Graph",
     "NucleusSpace",
     "CSRSpace",
+    "SpaceLike",
     "DecompositionResult",
     "nucleus_decomposition",
     "core_decomposition",

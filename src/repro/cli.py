@@ -21,9 +21,10 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.core.csr import resolve_process_backend, resolve_space_for_backend
 from repro.core.decomposition import nucleus_decomposition
+from repro.core.densest import best_nucleus
 from repro.core.hierarchy import build_hierarchy
-from repro.core.space import NucleusSpace
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.experiments import tables
 from repro.experiments.convergence import format_convergence, run_convergence_suite
@@ -107,6 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = sub.add_parser("query", help="Query-driven estimation accuracy")
     query.add_argument("--dataset", default="fb")
+    query.add_argument(
+        "--backend",
+        choices=["auto", "dict", "csr"],
+        default="auto",
+        help="space representation for the exact baseline and every local "
+        "ball ('csr' builds each via CSRSpace.from_graph)",
+    )
 
     qual = sub.add_parser("quality", help="Online quality metric")
     qual.add_argument("--dataset", default="fb")
@@ -140,7 +148,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker count for --parallel (default 4); requires --parallel",
     )
-    dec.add_argument("--hierarchy", action="store_true", help="print the nucleus hierarchy")
+    dec.add_argument(
+        "--hierarchy",
+        action="store_true",
+        help="also build and print the nucleus hierarchy from the in-memory "
+        "result (no second decomposition)",
+    )
+    dec.add_argument(
+        "--densest",
+        action="store_true",
+        help="also report the densest nucleus of the hierarchy (implies "
+        "building the hierarchy from the in-memory result)",
+    )
 
     return parser
 
@@ -188,7 +207,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "tradeoff":
         print(format_tradeoff(run_tradeoff(args.dataset, algorithm=args.algorithm)))
     elif args.command == "query":
-        print(format_query_driven(run_query_driven_suite(args.dataset)))
+        print(
+            format_query_driven(
+                run_query_driven_suite(args.dataset, backend=args.backend)
+            )
+        )
     elif args.command == "quality":
         print(format_quality_metric(run_quality_metric(args.dataset)))
     elif args.command == "decompose":
@@ -200,13 +223,23 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _run_decompose(args: argparse.Namespace) -> None:
     graph = load_dataset(args.dataset)
-    # --hierarchy needs the dict space anyway, so build it once and share it
-    # with the decomposition; otherwise the graph goes in directly so
-    # backend="csr" (and the parallel modes) can construct the flat space
-    # without the dict detour
-    space = NucleusSpace(graph, args.r, args.s) if args.hierarchy else None
+    # the applications (--hierarchy / --densest) run on the same space and
+    # the same in-memory result as the decomposition — no dict round-trip
+    # and no second decomposition.  backend="csr" therefore feeds the whole
+    # pipeline from one CSRSpace.from_graph construction.
+    run_applications = args.hierarchy or args.densest
+    space = None
+    source = graph
+    if run_applications:
+        backend = (
+            resolve_process_backend(args.backend)
+            if args.parallel == "process"
+            else args.backend
+        )
+        space, _ = resolve_space_for_backend(graph, args.r, args.s, backend)
+        source = space
     result = nucleus_decomposition(
-        space if space is not None else graph,
+        source,
         args.r,
         args.s,
         algorithm=args.algorithm,
@@ -220,9 +253,21 @@ def _run_decompose(args: argparse.Namespace) -> None:
         for k, count in result.kappa_histogram().items()
     ]
     print(tables.format_table(histogram_rows, title="kappa histogram"))
-    if args.hierarchy:
+    if run_applications:
         hierarchy = build_hierarchy(space, result)
-        print(tables.format_table(hierarchy.to_rows(), title="nucleus hierarchy"))
+        if args.hierarchy:
+            print(tables.format_table(hierarchy.to_rows(), title="nucleus hierarchy"))
+        if args.densest:
+            nucleus, density = best_nucleus(graph, args.r, args.s, hierarchy=hierarchy)
+            if nucleus is None:
+                print("densest nucleus: none (no nucleus meets the size threshold)")
+            else:
+                print(
+                    f"densest nucleus: k={nucleus.k} with "
+                    f"{len(nucleus.vertices)} vertices, "
+                    f"{len(nucleus.clique_indices)} r-cliques, "
+                    f"edge density {density:.4f}"
+                )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,10 +15,12 @@ The public entry points most users need are re-exported here:
 """
 
 from repro.core.space import NucleusSpace
+from repro.core.protocol import SpaceLike, space_graph, vertices_of
 from repro.core.csr import (
     BACKENDS,
     CSRSpace,
     and_decomposition_csr,
+    auto_csr_threshold,
     snd_decomposition_csr,
 )
 from repro.core.hindex import h_index, sustains_h
@@ -33,7 +35,7 @@ from repro.core.decomposition import (
     three_four_decomposition,
     truss_decomposition,
 )
-from repro.core.hierarchy import NucleusHierarchy, build_hierarchy
+from repro.core.hierarchy import Nucleus, NucleusHierarchy, build_hierarchy
 from repro.core.densest import (
     best_nucleus,
     charikar_densest_subgraph,
@@ -41,6 +43,7 @@ from repro.core.densest import (
 )
 from repro.core.query import estimate_local_indices
 from repro.core.metrics import (
+    accuracy_report_from_results,
     exact_match_fraction,
     kendall_tau,
     mean_absolute_error,
@@ -50,7 +53,11 @@ from repro.core.metrics import (
 __all__ = [
     "NucleusSpace",
     "CSRSpace",
+    "SpaceLike",
+    "space_graph",
+    "vertices_of",
     "BACKENDS",
+    "auto_csr_threshold",
     "and_decomposition_csr",
     "snd_decomposition_csr",
     "h_index",
@@ -65,12 +72,14 @@ __all__ = [
     "core_decomposition",
     "truss_decomposition",
     "three_four_decomposition",
+    "Nucleus",
     "NucleusHierarchy",
     "build_hierarchy",
     "best_nucleus",
     "charikar_densest_subgraph",
     "max_core_subgraph",
     "estimate_local_indices",
+    "accuracy_report_from_results",
     "kendall_tau",
     "exact_match_fraction",
     "mean_absolute_error",

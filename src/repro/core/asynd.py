@@ -20,6 +20,7 @@ from repro.core.csr import (
     resolve_space_for_backend,
 )
 from repro.core.hindex import h_index, sustains_h
+from repro.core.protocol import SpaceLike
 from repro.core.result import DecompositionResult, IterationStats
 from repro.core.space import NucleusSpace
 from repro.graph.graph import Graph
@@ -27,8 +28,6 @@ from repro.graph.graph import Graph
 __all__ = ["and_decomposition", "processing_order"]
 
 OrderSpec = Union[str, Sequence[int], None]
-
-SpaceLike = Union[NucleusSpace, CSRSpace]
 
 
 def processing_order(

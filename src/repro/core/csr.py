@@ -30,6 +30,8 @@ asserts property-style.
 
 from __future__ import annotations
 
+import os
+import time
 from array import array
 from bisect import bisect_left
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
@@ -52,6 +54,9 @@ __all__ = [
     "CSRSpace",
     "BACKENDS",
     "AUTO_CSR_THRESHOLD",
+    "MIN_AUTO_CSR_THRESHOLD",
+    "AUTO_CSR_THRESHOLD_ENV",
+    "auto_csr_threshold",
     "HAVE_NUMPY",
     "estimate_r_clique_count",
     "resolve_backend",
@@ -67,9 +72,25 @@ HAVE_NUMPY = _np is not None
 #: Valid values of the ``backend=`` parameter accepted by the decompositions.
 BACKENDS = ("auto", "dict", "csr")
 
-#: ``backend="auto"`` switches to the CSR kernels at this many r-cliques;
-#: below it the one-off flattening cost outweighs the per-iteration savings.
+#: Fallback value of the ``backend="auto"`` switch-over point (in r-cliques):
+#: below the threshold the one-off flattening cost outweighs the
+#: per-iteration savings.  The *effective* threshold comes from
+#: :func:`auto_csr_threshold`, which calibrates it per process with a tiny
+#: timing probe (clamped so it can only move the switch-over point earlier
+#: than this conservative default, never later).
 AUTO_CSR_THRESHOLD = 256
+
+#: Smallest calibrated threshold: below ~this many r-cliques both backends
+#: finish in microseconds and the routing choice is immaterial.
+MIN_AUTO_CSR_THRESHOLD = 32
+
+#: Environment variable overriding the calibrated threshold (useful for
+#: deterministic tests and for operators who have measured their fleet).
+AUTO_CSR_THRESHOLD_ENV = "REPRO_AUTO_CSR_THRESHOLD"
+
+#: Memoised calibration result; ``None`` until the first ``backend="auto"``
+#: decision (or explicit :func:`auto_csr_threshold` call) of the process.
+_CALIBRATED: Optional[int] = None
 
 Clique = Tuple
 
@@ -89,11 +110,13 @@ class CSRSpace:
         "s",
         "stride",
         "cliques",
+        "graph",
         "ctx_offsets",
         "ctx_members",
         "nbr_offsets",
         "nbr_members",
         "_inverse",
+        "_index",
     )
 
     def __init__(
@@ -105,6 +128,7 @@ class CSRSpace:
         ctx_members: Sequence[int],
         nbr_offsets: Sequence[int],
         nbr_members: Sequence[int],
+        graph: Optional[Graph] = None,
     ) -> None:
         if r < 1 or s <= r:
             raise ValueError(f"need 1 <= r < s, got r={r}, s={s}")
@@ -112,11 +136,13 @@ class CSRSpace:
         self.s = s
         self.stride = _binomial(s, r) - 1
         self.cliques = list(cliques)
+        self.graph = graph
         self.ctx_offsets = array("q", ctx_offsets)
         self.ctx_members = array("q", ctx_members)
         self.nbr_offsets = array("q", nbr_offsets)
         self.nbr_members = array("q", nbr_members)
         self._inverse = None
+        self._index = None
 
     # ------------------------------------------------------------------
     # construction
@@ -148,11 +174,13 @@ class CSRSpace:
         obj.s = space.s
         obj.stride = stride
         obj.cliques = list(space.cliques)
+        obj.graph = space.graph
         obj.ctx_offsets = ctx_offsets
         obj.ctx_members = ctx_members
         obj.nbr_offsets = nbr_offsets
         obj.nbr_members = nbr_members
         obj._inverse = None
+        obj._index = None
         return obj
 
     @classmethod
@@ -187,11 +215,16 @@ class CSRSpace:
             cliques, groups = _incidence_triangle_four_clique(graph)
         else:
             cliques, groups = _incidence_generic(graph, r, s)
-        return cls._from_incidence(r, s, cliques, groups)
+        return cls._from_incidence(r, s, cliques, groups, graph=graph)
 
     @classmethod
     def _from_incidence(
-        cls, r: int, s: int, cliques: List[Clique], groups: array
+        cls,
+        r: int,
+        s: int,
+        cliques: List[Clique],
+        groups: array,
+        graph: Optional[Graph] = None,
     ) -> "CSRSpace":
         """Assemble the CSR arrays from the flat s-clique membership groups.
 
@@ -235,11 +268,13 @@ class CSRSpace:
         obj.s = s
         obj.stride = stride
         obj.cliques = cliques
+        obj.graph = graph
         obj.ctx_offsets = ctx_offsets
         obj.ctx_members = ctx_members
         obj.nbr_offsets = nbr_offsets
         obj.nbr_members = nbr_members
         obj._inverse = None
+        obj._index = None
         return obj
 
     # ------------------------------------------------------------------
@@ -250,6 +285,24 @@ class CSRSpace:
 
     def clique_of(self, index: int) -> Clique:
         return self.cliques[index]
+
+    def index_of(self, clique: Sequence) -> int:
+        """Index of an r-clique given in any vertex order (KeyError if absent).
+
+        The reverse clique → index mapping is built lazily on first use and
+        memoised, so index-only pipelines (the CSR-native application layer)
+        never pay for it.
+        """
+        found = self.find_index(clique)
+        if found is None:
+            raise KeyError(canonical_clique(tuple(clique)))
+        return found
+
+    def find_index(self, clique: Sequence) -> Optional[int]:
+        """Index of an r-clique given in any vertex order, or ``None``."""
+        if self._index is None:
+            self._index = {c: i for i, c in enumerate(self.cliques)}
+        return self._index.get(canonical_clique(tuple(clique)))
 
     def s_degree(self, index: int) -> int:
         return self.ctx_offsets[index + 1] - self.ctx_offsets[index]
@@ -274,6 +327,26 @@ class CSRSpace:
         return tuple(
             self.nbr_members[self.nbr_offsets[index]:self.nbr_offsets[index + 1]]
         )
+
+    def s_clique_groups(self) -> List[Tuple[int, ...]]:
+        """Every s-clique exactly once, as its sorted member-index tuple.
+
+        Mirrors :meth:`NucleusSpace.s_clique_groups`: each s-clique owns
+        ``C(s, r)`` context rows (one per member); only the row whose owner is
+        the smallest member emits the group, giving one entry per s-clique.
+        """
+        stride = self.stride
+        cm = self.ctx_members
+        off = self.ctx_offsets
+        groups: List[Tuple[int, ...]] = []
+        for i in range(len(self)):
+            for c in range(off[i], off[i + 1]):
+                base = c * stride
+                others = cm[base:base + stride]
+                if all(i < o for o in others):
+                    groups.append(tuple(sorted((i, *others))))
+        groups.sort()
+        return groups
 
     def number_of_s_cliques(self) -> int:
         per_s_clique = self.stride + 1
@@ -366,14 +439,21 @@ class CSRSpace:
             "s": self.s,
             "stride": self.stride,
             "cliques": self.cliques,
+            # the graph reference is deliberately dropped: worker processes
+            # only run kernels over the flat arrays, and shipping the full
+            # adjacency structure would defeat the compact-pickle property
+            "graph": None,
             "ctx_offsets": self.ctx_offsets,
             "ctx_members": self.ctx_members,
             "nbr_offsets": self.nbr_offsets,
             "nbr_members": self.nbr_members,
             "_inverse": None,  # lazy cache, rebuilt on demand after unpickling
+            "_index": None,
         }
 
     def __setstate__(self, state) -> None:
+        state.setdefault("graph", None)
+        state.setdefault("_index", None)
         for name, value in state.items():
             object.__setattr__(self, name, value)
 
@@ -488,6 +568,62 @@ def _incidence_generic(graph: Graph, r: int, s: int):
 # ----------------------------------------------------------------------
 # backend selection
 # ----------------------------------------------------------------------
+def auto_csr_threshold() -> int:
+    """The calibrated ``backend="auto"`` switch-over size, in r-cliques.
+
+    The first call of a process runs a one-shot timing probe (see
+    :func:`_calibrate_threshold`) and memoises the answer; every later call
+    is a cached read.  The :data:`AUTO_CSR_THRESHOLD_ENV` environment
+    variable overrides the probe entirely, and any probe failure falls back
+    to the conservative :data:`AUTO_CSR_THRESHOLD` constant.
+    """
+    global _CALIBRATED
+    if _CALIBRATED is None:
+        try:
+            override = os.environ.get(AUTO_CSR_THRESHOLD_ENV)
+            if override is not None:
+                _CALIBRATED = max(int(override), 1)
+            else:
+                _CALIBRATED = _calibrate_threshold()
+        except Exception:
+            # calibration is best-effort: any failure (a malformed override,
+            # no generators in a stripped install, instrumented spaces in a
+            # test harness) keeps the documented default
+            _CALIBRATED = AUTO_CSR_THRESHOLD
+    return _CALIBRATED
+
+
+def _calibrate_threshold() -> int:
+    """One-shot timing probe replacing the old magic switch-over constant.
+
+    Runs the full auto-routing decision once at a small known size: the dict
+    route (``NucleusSpace`` construction + dict AND kernel) against the CSR
+    route (``from_graph`` + CSR AND kernel) on a deterministic ~150-edge
+    (2, 3) probe instance.  Both routes scale roughly linearly with space
+    size at fixed density, so the break-even size is estimated by scaling
+    the probe size with the observed cost ratio, then clamped to
+    ``[MIN_AUTO_CSR_THRESHOLD, AUTO_CSR_THRESHOLD]`` — the probe can only
+    discover that CSR pays off *earlier* than the conservative default, and
+    single-digit-millisecond timings are too noisy to justify routing large
+    spaces to the dict backend.
+    """
+    from repro.core.asynd import and_decomposition  # deferred: import cycle
+    from repro.graph.generators import powerlaw_cluster_graph
+
+    graph = powerlaw_cluster_graph(48, 3, 0.5, seed=20)
+    probe_size = graph.number_of_edges()  # = |R(G)| of the (2, 3) instance
+    t0 = time.perf_counter()
+    and_decomposition(NucleusSpace(graph, 2, 3), backend="dict")
+    t_dict = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    and_decomposition_csr(CSRSpace.from_graph(graph, 2, 3))
+    t_csr = time.perf_counter() - t0
+    if t_dict <= 0.0:
+        return AUTO_CSR_THRESHOLD
+    estimate = int(probe_size * (t_csr / t_dict))
+    return max(MIN_AUTO_CSR_THRESHOLD, min(estimate, AUTO_CSR_THRESHOLD))
+
+
 def estimate_r_clique_count(
     graph: Graph, r: int, *, limit: Optional[int] = None
 ) -> int:
@@ -535,7 +671,7 @@ def resolve_backend(
     """Resolve a ``backend=`` argument to ``"dict"`` or ``"csr"``.
 
     ``"auto"`` picks the CSR kernels once the space has at least
-    :data:`AUTO_CSR_THRESHOLD` r-cliques (below that the flattening cost
+    :func:`auto_csr_threshold` r-cliques (below that the flattening cost
     dominates).  A prebuilt :class:`CSRSpace` always runs on the CSR kernels —
     asking for the dict backend on one is an error because the tuple-keyed
     structure it would need has been discarded.
@@ -547,7 +683,7 @@ def resolve_backend(
             raise ValueError("cannot run the dict backend on a CSRSpace")
         return "csr"
     if backend == "auto":
-        return "csr" if len(space) >= AUTO_CSR_THRESHOLD else "dict"
+        return "csr" if len(space) >= auto_csr_threshold() else "dict"
     return backend
 
 
@@ -609,9 +745,9 @@ def resolve_space_for_backend(
     if isinstance(source, Graph) and backend in ("csr", "auto"):
         if r is None or s is None:
             raise ValueError("r and s are required when passing a Graph")
+        threshold = auto_csr_threshold() if backend == "auto" else 0
         if backend == "csr" or (
-            estimate_r_clique_count(source, r, limit=AUTO_CSR_THRESHOLD)
-            >= AUTO_CSR_THRESHOLD
+            estimate_r_clique_count(source, r, limit=threshold) >= threshold
         ):
             return CSRSpace.from_graph(source, r, s), "csr"
     space = resolve_space(source, r, s)

@@ -6,29 +6,47 @@ an r-clique also removes every s-clique containing it.  Theorem 3 shows the
 r-cliques in level ``L_i`` converge within ``i`` iterations of the update
 operator, so the number of levels is an upper bound on the iterations both
 SND and AND need — and a far tighter one than the trivial |R(G)| bound.
+
+The computation is backend-agnostic (any :class:`repro.core.protocol.SpaceLike`
+source works) with a CSR fast path: on flat arrays each s-clique's context
+rows are killed incrementally when its first member is removed — O(contexts)
+total instead of re-scanning every surviving context per round.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Union
 
-from repro.core.space import NucleusSpace
+from repro.core.csr import CSRSpace, resolve_space_for_backend
+from repro.core.protocol import SpaceLike
 from repro.graph.graph import Graph
 
 __all__ = ["degree_levels", "convergence_upper_bound", "level_of_each_clique"]
 
 
 def degree_levels(
-    source: Union[Graph, NucleusSpace],
+    source: Union[Graph, SpaceLike],
     r: Optional[int] = None,
     s: Optional[int] = None,
+    *,
+    backend: str = "auto",
 ) -> List[List[int]]:
     """Return the degree levels as lists of r-clique indices.
 
-    ``levels[i]`` holds the indices (into ``space.cliques``) of the r-cliques
-    forming level ``L_i``.  Every r-clique appears in exactly one level.
+    ``levels[i]`` holds the indices (into the space's clique indexing) of the
+    r-cliques forming level ``L_i``.  Every r-clique appears in exactly one
+    level.  ``backend`` selects the space representation when ``source`` is a
+    :class:`Graph` (a prebuilt space is used as-is); the levels are identical
+    either way.
     """
-    space = _resolve_space(source, r, s)
+    space = _resolve_space(source, r, s, backend)
+    if isinstance(space, CSRSpace):
+        return _degree_levels_csr(space)
+    return _degree_levels_generic(space)
+
+
+def _degree_levels_generic(space: SpaceLike) -> List[List[int]]:
+    """Reference implementation over the protocol's context tuples."""
     n = len(space)
     removed = [False] * n
     # current S-degree restricted to the surviving structure
@@ -56,13 +74,64 @@ def degree_levels(
     return levels
 
 
+def _degree_levels_csr(space: CSRSpace) -> List[List[int]]:
+    """Incremental peeling of whole levels over the flat CSR arrays.
+
+    Each context row (an s-clique seen from one owner) dies exactly once —
+    when the first of its members is removed — and decrements only its
+    owner's live count, so the total update work is O(|contexts|) instead of
+    the generic path's full re-scan per round.  Level membership and order
+    match :func:`_degree_levels_generic` exactly.
+    """
+    n = len(space)
+    ctx_off = list(space.ctx_offsets)
+    inv_offsets, inv_ids = space.member_contexts()
+    inv_off = list(inv_offsets)
+    inv = list(inv_ids)
+    # owner_of[c] = clique owning context row c
+    owner_of = [0] * ctx_off[n]
+    for i in range(n):
+        for c in range(ctx_off[i], ctx_off[i + 1]):
+            owner_of[c] = i
+
+    removed = [False] * n
+    alive = [True] * ctx_off[n]
+    current = [ctx_off[i + 1] - ctx_off[i] for i in range(n)]
+    remaining = n
+    levels: List[List[int]] = []
+
+    while remaining > 0:
+        minimum = min(current[i] for i in range(n) if not removed[i])
+        level = [i for i in range(n) if not removed[i] and current[i] == minimum]
+        levels.append(level)
+        for i in level:
+            removed[i] = True
+        remaining -= len(level)
+        for i in level:
+            # rows owned by i die with it (their owner is gone: no decrement)
+            for c in range(ctx_off[i], ctx_off[i + 1]):
+                alive[c] = False
+            # rows where i is a non-owner member die too, costing their
+            # owner one live s-clique (unless the owner left this round)
+            for p in range(inv_off[i], inv_off[i + 1]):
+                c = inv[p]
+                if alive[c]:
+                    alive[c] = False
+                    owner = owner_of[c]
+                    if not removed[owner]:
+                        current[owner] -= 1
+    return levels
+
+
 def level_of_each_clique(
-    source: Union[Graph, NucleusSpace],
+    source: Union[Graph, SpaceLike],
     r: Optional[int] = None,
     s: Optional[int] = None,
+    *,
+    backend: str = "auto",
 ) -> List[int]:
     """Return, for every r-clique index, the index of its degree level."""
-    space = _resolve_space(source, r, s)
+    space = _resolve_space(source, r, s, backend)
     levels = degree_levels(space)
     assignment = [0] * len(space)
     for level_index, members in enumerate(levels):
@@ -72,9 +141,11 @@ def level_of_each_clique(
 
 
 def convergence_upper_bound(
-    source: Union[Graph, NucleusSpace],
+    source: Union[Graph, SpaceLike],
     r: Optional[int] = None,
     s: Optional[int] = None,
+    *,
+    backend: str = "auto",
 ) -> int:
     """Upper bound on the number of update iterations needed to converge.
 
@@ -83,15 +154,17 @@ def convergence_upper_bound(
     graph converges within ``len(levels) - 1`` iterations, and one extra
     no-change iteration may be needed to *detect* convergence.
     """
-    levels = degree_levels(source, r, s)
+    levels = degree_levels(source, r, s, backend=backend)
     return max(len(levels) - 1, 0)
 
 
 def _resolve_space(
-    source: Union[Graph, NucleusSpace], r: Optional[int], s: Optional[int]
-) -> NucleusSpace:
-    if isinstance(source, NucleusSpace):
+    source: Union[Graph, SpaceLike],
+    r: Optional[int],
+    s: Optional[int],
+    backend: str,
+) -> SpaceLike:
+    if not isinstance(source, Graph):
         return source
-    if r is None or s is None:
-        raise ValueError("r and s are required when passing a Graph")
-    return NucleusSpace(source, r, s)
+    space, _ = resolve_space_for_backend(source, r, s, backend)
+    return space

@@ -4,12 +4,19 @@ The paper reports Kendall-Tau rank correlation between the decomposition
 obtained after ``i`` iterations and the exact decomposition (Figures 1a / 6),
 plus coarser measures like the fraction of r-cliques whose estimate is
 already exact.  These are pure functions over two equal-length integer
-sequences, so they work for any (r, s) instance.
+sequences, so they work for any (r, s) instance — and, via
+:func:`accuracy_report_from_results`, directly over two
+:class:`~repro.core.result.DecompositionResult` objects from *any* backend:
+results are index-aligned with their space, so the comparison never builds a
+tuple-keyed κ dict.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import TYPE_CHECKING, Dict, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.result import DecompositionResult
 
 __all__ = [
     "kendall_tau",
@@ -18,6 +25,8 @@ __all__ = [
     "mean_relative_error",
     "max_absolute_error",
     "accuracy_report",
+    "accuracy_report_from_results",
+    "assert_comparable",
 ]
 
 
@@ -92,6 +101,38 @@ def accuracy_report(estimate: Sequence[int], exact: Sequence[int]) -> Dict[str, 
         "max_absolute_error": float(max_absolute_error(estimate, exact)),
         "mean_relative_error": mean_relative_error(estimate, exact),
     }
+
+
+def assert_comparable(
+    estimate: "DecompositionResult", exact: "DecompositionResult"
+) -> None:
+    """Raise ValueError unless two results are index-aligned.
+
+    Two results are comparable when they were computed on the same (r, s)
+    instance and describe the same number of r-cliques; κ arrays are then
+    aligned index-for-index regardless of which backend produced them, so no
+    tuple-keyed reconciliation is ever needed.
+    """
+    if (estimate.r, estimate.s) != (exact.r, exact.s):
+        raise ValueError(
+            f"results compare different instances: "
+            f"({estimate.r},{estimate.s}) vs ({exact.r},{exact.s})"
+        )
+    _check_lengths(estimate.kappa, exact.kappa)
+
+
+def accuracy_report_from_results(
+    estimate: "DecompositionResult", exact: "DecompositionResult"
+) -> Dict[str, float]:
+    """All accuracy metrics between two decomposition results.
+
+    Backend-agnostic: compares the index-aligned κ arrays directly (after
+    :func:`assert_comparable`), so a CSR-backed estimate can be scored
+    against a dict-backed exact run (or vice versa) without either side
+    materialising a clique → κ dict.
+    """
+    assert_comparable(estimate, exact)
+    return accuracy_report(estimate.kappa, exact.kappa)
 
 
 def _check_lengths(a: Sequence[int], b: Sequence[int]) -> None:

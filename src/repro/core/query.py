@@ -8,6 +8,12 @@ h-hop ball around the queried vertices, build the (r, s) space of the induced
 subgraph, and iterate.  Because the induced subgraph is missing s-cliques
 that straddle the boundary, the estimates are *not* exact, but they improve
 rapidly with the hop radius; experiment E8 quantifies that trade-off.
+
+The pipeline is backend-agnostic: ``backend="csr"`` (or ``"auto"`` on a big
+ball) builds the local space directly with :meth:`CSRSpace.from_graph`, runs
+the array kernels on it, and resolves the queried cliques to indices via the
+space protocol — no :class:`NucleusSpace` and no tuple-keyed κ dict anywhere
+on the path.
 """
 
 from __future__ import annotations
@@ -15,8 +21,9 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.asynd import and_decomposition
+from repro.core.csr import resolve_space_for_backend
 from repro.core.snd import snd_decomposition
-from repro.core.space import Clique, NucleusSpace
+from repro.core.space import Clique
 from repro.graph.cliques import canonical_clique
 from repro.graph.graph import Graph, Vertex
 
@@ -54,6 +61,7 @@ def estimate_local_indices(
     hops: int = 2,
     algorithm: str = "and",
     max_iterations: Optional[int] = None,
+    backend: str = "auto",
 ) -> QueryEstimate:
     """Estimate κ_s for the queried r-cliques using only a local neighbourhood.
 
@@ -73,6 +81,10 @@ def estimate_local_indices(
         ``"and"`` (default) or ``"snd"`` for the local iteration.
     max_iterations:
         Optional iteration cap forwarded to the local algorithm.
+    backend:
+        Space representation for the ball: ``"dict"``, ``"csr"`` (the ball
+        space is built directly by :meth:`CSRSpace.from_graph`) or ``"auto"``
+        (size-based; small balls stay on the dict path).
 
     Returns
     -------
@@ -106,22 +118,26 @@ def estimate_local_indices(
                 if not subgraph.has_edge(clique[i], clique[j]):
                     raise ValueError(f"query {clique!r} is not a clique of the graph")
 
-    space = NucleusSpace(subgraph, r, s)
+    space, resolved = resolve_space_for_backend(subgraph, r, s, backend)
     if algorithm == "and":
-        result = and_decomposition(space, max_iterations=max_iterations)
+        result = and_decomposition(
+            space, max_iterations=max_iterations, backend=resolved
+        )
     elif algorithm == "snd":
-        result = snd_decomposition(space, max_iterations=max_iterations)
+        result = snd_decomposition(
+            space, max_iterations=max_iterations, backend=resolved
+        )
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}")
 
-    kappa_by_clique = result.as_dict()
     estimates: Dict[Clique, int] = {}
     for clique in query_list:
-        if clique not in kappa_by_clique:
+        index = space.find_index(clique)
+        if index is None:
             # the queried clique has no s-clique in the ball; its local κ is 0
             estimates[clique] = 0
         else:
-            estimates[clique] = kappa_by_clique[clique]
+            estimates[clique] = result.kappa_at(index)
 
     return QueryEstimate(
         estimates,

@@ -87,18 +87,46 @@ class DecompositionResult:
     tau_history: Optional[List[List[int]]] = None
     iteration_stats: List[IterationStats] = field(default_factory=list)
     operations: Dict[str, Any] = field(default_factory=dict)
+    # memoised clique → κ mapping; built once on first tuple-keyed access so
+    # CSR-backed results that are only ever read by index never pay for it
+    _by_clique: Optional[Dict[Clique, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.kappa)
 
+    def kappa_at(self, index: int) -> int:
+        """κ index of the r-clique at ``index`` (aligned with ``cliques``).
+
+        The index-native lookup: results produced on any backend are
+        index-aligned with their space, so the application layer reads κ by
+        clique index and never needs the tuple-keyed dict.
+        """
+        return self.kappa[index]
+
     def kappa_of(self, clique: Clique) -> int:
-        """κ index of a specific r-clique (given as a canonical tuple)."""
-        return self.as_dict()[clique]
+        """κ index of a specific r-clique (given as a canonical tuple).
+
+        Uses the memoised clique → κ mapping, so repeated point lookups cost
+        one dict probe instead of rebuilding the full mapping per call.
+        """
+        return self._mapping()[clique]
 
     def as_dict(self) -> Dict[Clique, int]:
-        """Map r-clique tuple → κ index."""
-        return {c: k for c, k in zip(self.cliques, self.kappa)}
+        """Map r-clique tuple → κ index.
+
+        The mapping is built once and cached; the returned dict is shared
+        with the cache, so treat it as read-only (like ``cliques``/``kappa``,
+        the result object is immutable by convention once constructed).
+        """
+        return self._mapping()
+
+    def _mapping(self) -> Dict[Clique, int]:
+        if self._by_clique is None:
+            self._by_clique = {c: k for c, k in zip(self.cliques, self.kappa)}
+        return self._by_clique
 
     def max_kappa(self) -> int:
         """Largest κ index (0 for an empty clique set)."""

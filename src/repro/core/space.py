@@ -20,7 +20,7 @@ mirroring the implementation choice in Section 5 of the paper.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.cliques import canonical_clique, enumerate_k_cliques, is_clique
 from repro.graph.graph import Graph, Vertex, sorted_vertices
@@ -78,6 +78,15 @@ class NucleusSpace:
         """Return the index of an r-clique given in any vertex order."""
         return self.index[canonical_clique(tuple(clique))]
 
+    def find_index(self, clique: Sequence[Vertex]) -> Optional[int]:
+        """Index of an r-clique given in any vertex order, or ``None``.
+
+        The non-raising variant of :meth:`index_of`; part of the space
+        protocol (:mod:`repro.core.protocol`) the query pipeline uses to
+        resolve tuple-shaped queries back to indices.
+        """
+        return self.index.get(canonical_clique(tuple(clique)))
+
     def s_degree(self, index: int) -> int:
         """Number of s-cliques containing r-clique ``index`` (the d_s value)."""
         return len(self._contexts[index])
@@ -93,6 +102,23 @@ class NucleusSpace:
     def neighbors(self, index: int) -> Set[int]:
         """Indices of r-cliques sharing at least one s-clique with ``index``."""
         return self._neighbors[index]
+
+    def s_clique_groups(self) -> List[Tuple[int, ...]]:
+        """Every s-clique exactly once, as its sorted member-index tuple.
+
+        Each s-clique appears ``C(s, r)`` times across the per-owner contexts
+        (once per member); the group is emitted only from the context whose
+        owner is the smallest member index, so the list has one entry per
+        s-clique.  Groups and the list itself are sorted, making the output
+        directly comparable across space representations.
+        """
+        groups: List[Tuple[int, ...]] = []
+        for i, contexts in enumerate(self._contexts):
+            for others in contexts:
+                if all(i < o for o in others):
+                    groups.append(tuple(sorted((i, *others))))
+        groups.sort()
+        return groups
 
     def number_of_s_cliques(self) -> int:
         """Total number of s-cliques in the graph.

@@ -14,10 +14,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+from repro.core.csr import resolve_space_for_backend
 from repro.core.metrics import accuracy_report, kendall_tau
 from repro.core.peeling import peeling_decomposition
 from repro.core.snd import snd_decomposition
-from repro.core.space import NucleusSpace
 from repro.datasets.registry import load_dataset
 from repro.experiments.tables import format_table
 
@@ -28,6 +28,8 @@ def run_quality_metric(
     dataset: str,
     r: int = 2,
     s: int = 3,
+    *,
+    backend: str = "auto",
 ) -> Dict[str, object]:
     """Per-iteration stability vs true accuracy, plus their correlation.
 
@@ -35,11 +37,15 @@ def run_quality_metric(
     is the Kendall-Tau between the stability series and the true
     exact-fraction series — high correlation means stability is a trustworthy
     stand-in for accuracy, which is the claim behind the paper's metric.
+    All comparisons are index-aligned over whichever space representation
+    ``backend`` selects.
     """
     graph = load_dataset(dataset)
-    space = NucleusSpace(graph, r, s)
-    exact = peeling_decomposition(space).kappa
-    result = snd_decomposition(space, record_history=True, reference_kappa=exact)
+    space, resolved = resolve_space_for_backend(graph, r, s, backend)
+    exact = peeling_decomposition(space, backend=resolved).kappa
+    result = snd_decomposition(
+        space, record_history=True, reference_kappa=exact, backend=resolved
+    )
     history = result.tau_history or []
     n = max(len(space), 1)
 

@@ -14,9 +14,9 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Sequence
 
+from repro.core.csr import resolve_space_for_backend
 from repro.core.peeling import peeling_decomposition
 from repro.core.query import estimate_local_indices
-from repro.core.space import NucleusSpace
 from repro.datasets.registry import load_dataset
 from repro.experiments.tables import format_table
 
@@ -31,22 +31,26 @@ def run_query_driven(
     num_queries: int = 20,
     hop_radii: Sequence[int] = (0, 1, 2, 3),
     seed: int = 13,
+    backend: str = "auto",
 ) -> List[Dict[str, object]]:
     """Accuracy of query-driven κ estimates as a function of the hop radius.
 
     One row per hop radius with the exact-match fraction, mean absolute
     error, and the mean fraction of the graph's vertices inside the processed
-    neighbourhood (the cost measure).
+    neighbourhood (the cost measure).  ``backend`` selects the space
+    representation for both the exact baseline and every local ball; queries
+    are sampled by clique *index* and compared index-to-index, so no
+    tuple-keyed κ dict is ever built.
     """
     graph = load_dataset(dataset)
-    space = NucleusSpace(graph, r, s)
-    exact_by_clique = peeling_decomposition(space).as_dict()
+    space, resolved = resolve_space_for_backend(graph, r, s, backend)
+    exact_kappa = peeling_decomposition(space, backend=resolved).kappa
 
     rng = random.Random(seed)
-    all_cliques = list(space.cliques)
-    if not all_cliques:
+    if not len(space):
         return []
-    queries = rng.sample(all_cliques, min(num_queries, len(all_cliques)))
+    indices = rng.sample(range(len(space)), min(num_queries, len(space)))
+    queries = [(space.clique_of(i), exact_kappa[i]) for i in indices]
     total_vertices = max(graph.number_of_vertices(), 1)
 
     rows: List[Dict[str, object]] = []
@@ -54,10 +58,11 @@ def run_query_driven(
         matches = 0
         abs_error = 0
         ball_fraction = 0.0
-        for query in queries:
-            estimate = estimate_local_indices(graph, [query], r, s, hops=hops)
+        for query, truth in queries:
+            estimate = estimate_local_indices(
+                graph, [query], r, s, hops=hops, backend=backend
+            )
             value = estimate[query]
-            truth = exact_by_clique[query]
             if value == truth:
                 matches += 1
             abs_error += abs(value - truth)
@@ -84,6 +89,7 @@ def run_query_driven_suite(
     num_queries: int = 15,
     hop_radii: Sequence[int] = (1, 2, 3),
     seed: int = 13,
+    backend: str = "auto",
 ) -> List[Dict[str, object]]:
     """Query-driven accuracy for both the core (1,2) and truss (2,3) cases."""
     rows: List[Dict[str, object]] = []
@@ -96,6 +102,7 @@ def run_query_driven_suite(
                 num_queries=num_queries,
                 hop_radii=hop_radii,
                 seed=seed,
+                backend=backend,
             )
         )
     return rows

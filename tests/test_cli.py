@@ -50,6 +50,44 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "nucleus hierarchy" in out
 
+    def test_decompose_hierarchy_and_densest_on_csr(self, capsys):
+        """--hierarchy/--densest run on the in-memory CSR result: one
+        decomposition, applications included, no dict space."""
+        assert (
+            main(
+                [
+                    "decompose",
+                    "--dataset",
+                    "toy",
+                    "--r",
+                    "2",
+                    "--s",
+                    "3",
+                    "--backend",
+                    "csr",
+                    "--hierarchy",
+                    "--densest",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "nucleus hierarchy" in out
+        assert "densest nucleus" in out
+
+    def test_decompose_densest_alone(self, capsys):
+        assert (
+            main(["decompose", "--dataset", "toy", "--r", "1", "--s", "2", "--densest"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "densest nucleus" in out
+        assert "nucleus hierarchy" not in out
+
+    def test_query_command_with_backend(self, capsys):
+        assert main(["query", "--dataset", "toy", "--backend", "csr"]) == 0
+        assert "Query-driven" in capsys.readouterr().out
+
     def test_convergence_command(self, capsys):
         assert (
             main(

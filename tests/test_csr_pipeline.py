@@ -1,0 +1,163 @@
+"""End-to-end CSR pipeline guarantees, threshold calibration, result caching.
+
+The headline acceptance property of the backend-agnostic application layer:
+a CSR-backed end-to-end run (``from_graph`` → kernel → ``build_hierarchy`` →
+densest / levels / query) never constructs a :class:`NucleusSpace` and never
+materialises a tuple-keyed κ dict — asserted here by instrumenting both away.
+"""
+
+import pytest
+
+import repro.core.csr as csr_module
+from repro.core.csr import (
+    AUTO_CSR_THRESHOLD,
+    AUTO_CSR_THRESHOLD_ENV,
+    CSRSpace,
+    MIN_AUTO_CSR_THRESHOLD,
+    auto_csr_threshold,
+)
+from repro.core.decomposition import nucleus_decomposition
+from repro.core.densest import best_nucleus
+from repro.core.hierarchy import build_hierarchy
+from repro.core.levels import degree_levels
+from repro.core.peeling import peeling_decomposition
+from repro.core.query import estimate_local_indices
+from repro.core.result import DecompositionResult
+from repro.core.space import NucleusSpace
+from repro.graph.generators import powerlaw_cluster_graph
+
+
+@pytest.fixture
+def no_dict_structures(monkeypatch):
+    """Forbid NucleusSpace construction and tuple-keyed κ dict building."""
+
+    def no_space(self, *args, **kwargs):
+        raise AssertionError("NucleusSpace constructed on the CSR-native path")
+
+    def no_result_dict(self):
+        raise AssertionError("tuple-keyed kappa dict built on the CSR-native path")
+
+    def no_space_dict(self, values):
+        raise AssertionError("tuple-keyed value dict built on the CSR-native path")
+
+    monkeypatch.setattr(NucleusSpace, "__init__", no_space)
+    monkeypatch.setattr(DecompositionResult, "as_dict", no_result_dict)
+    monkeypatch.setattr(DecompositionResult, "_mapping", no_result_dict)
+    monkeypatch.setattr(CSRSpace, "as_dict", no_space_dict)
+
+
+class TestNoDictEndToEnd:
+    @pytest.mark.parametrize("algorithm", ["and", "snd", "peeling"])
+    def test_full_application_pipeline(self, no_dict_structures, algorithm):
+        """from_graph → kernel → hierarchy → densest, all without the dict."""
+        graph = powerlaw_cluster_graph(80, 4, 0.6, seed=5)
+        space = CSRSpace.from_graph(graph, 2, 3)
+        result = nucleus_decomposition(space, algorithm=algorithm, backend="csr")
+        assert result.operations["backend"] == "csr"
+
+        hierarchy = build_hierarchy(space, result)
+        assert len(hierarchy) >= 1
+        rows = hierarchy.to_rows()  # vertex materialisation + densities
+        assert rows[0]["num_vertices"] >= 1
+
+        nucleus, density = best_nucleus(graph, 2, 3, hierarchy=hierarchy)
+        assert nucleus is not None
+        assert 0.0 < density <= 1.0
+
+        levels = degree_levels(space)
+        assert sum(len(level) for level in levels) == len(space)
+
+    def test_densest_from_graph_without_prebuilt_hierarchy(self, no_dict_structures):
+        graph = powerlaw_cluster_graph(60, 4, 0.6, seed=6)
+        nucleus, density = best_nucleus(graph, 2, 3, backend="csr")
+        assert nucleus is not None
+        assert density > 0.0
+
+    def test_query_pipeline_builds_ball_via_from_graph(self, no_dict_structures):
+        graph = powerlaw_cluster_graph(60, 4, 0.6, seed=6)
+        space = CSRSpace.from_graph(graph, 2, 3)
+        query = space.clique_of(0)
+        estimate = estimate_local_indices(
+            graph, [query], 2, 3, hops=1, backend="csr"
+        )
+        assert estimate[query] >= 0
+        assert estimate.ball_size >= 2
+
+    def test_kappa_readable_by_index_without_dict(self, no_dict_structures):
+        space = CSRSpace.from_graph(powerlaw_cluster_graph(60, 4, 0.6, seed=6), 2, 3)
+        result = peeling_decomposition(space)
+        assert [result.kappa_at(i) for i in range(len(result))] == result.kappa
+
+
+class TestAutoThresholdCalibration:
+    @pytest.fixture
+    def fresh_calibration(self, monkeypatch):
+        monkeypatch.delenv(AUTO_CSR_THRESHOLD_ENV, raising=False)
+        monkeypatch.setattr(csr_module, "_CALIBRATED", None)
+
+    def test_probe_produces_a_clamped_threshold(self, fresh_calibration):
+        threshold = auto_csr_threshold()
+        assert MIN_AUTO_CSR_THRESHOLD <= threshold <= AUTO_CSR_THRESHOLD
+
+    def test_probe_runs_once_per_process(self, fresh_calibration, monkeypatch):
+        calls = []
+
+        def fake_probe():
+            calls.append(1)
+            return 99
+
+        monkeypatch.setattr(csr_module, "_calibrate_threshold", fake_probe)
+        assert auto_csr_threshold() == 99
+        assert auto_csr_threshold() == 99
+        assert len(calls) == 1
+
+    def test_env_override_wins(self, fresh_calibration, monkeypatch):
+        monkeypatch.setenv(AUTO_CSR_THRESHOLD_ENV, "123")
+        assert auto_csr_threshold() == 123
+
+    def test_malformed_env_override_falls_back(self, fresh_calibration, monkeypatch):
+        monkeypatch.setenv(AUTO_CSR_THRESHOLD_ENV, "not-a-number")
+        assert auto_csr_threshold() == AUTO_CSR_THRESHOLD
+
+    def test_probe_failure_falls_back_to_default(self, fresh_calibration, monkeypatch):
+        def broken_probe():
+            raise RuntimeError("no timers here")
+
+        monkeypatch.setattr(csr_module, "_calibrate_threshold", broken_probe)
+        assert auto_csr_threshold() == AUTO_CSR_THRESHOLD
+
+    def test_routing_uses_the_calibrated_value(self, fresh_calibration, monkeypatch):
+        monkeypatch.setattr(csr_module, "_CALIBRATED", 10)
+        space = NucleusSpace(powerlaw_cluster_graph(30, 3, 0.5, seed=1), 1, 2)
+        assert len(space) >= 10
+        assert csr_module.resolve_backend("auto", space) == "csr"
+        monkeypatch.setattr(csr_module, "_CALIBRATED", 10_000)
+        assert csr_module.resolve_backend("auto", space) == "dict"
+
+
+class TestResultCaching:
+    def make_result(self):
+        return peeling_decomposition(powerlaw_cluster_graph(40, 3, 0.5, seed=2), 1, 2)
+
+    def test_as_dict_is_memoised(self):
+        result = self.make_result()
+        first = result.as_dict()
+        assert result.as_dict() is first
+        assert first == {c: k for c, k in zip(result.cliques, result.kappa)}
+
+    def test_kappa_of_does_not_rebuild_per_call(self, monkeypatch):
+        result = self.make_result()
+        clique = result.cliques[0]
+        expected = result.kappa[0]
+        assert result.kappa_of(clique) == expected
+        # after the first lookup the mapping exists; further lookups must not
+        # reconstruct it
+        built = result._by_clique
+        assert built is not None
+        assert result.kappa_of(clique) == expected
+        assert result._by_clique is built
+
+    def test_kappa_at_reads_by_index(self):
+        result = self.make_result()
+        assert result.kappa_at(3) == result.kappa[3]
+        assert result._by_clique is None  # index reads never build the dict
