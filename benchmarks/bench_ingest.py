@@ -1,0 +1,102 @@
+"""Ingestion: edge-list file → decomposition-ready (2, 3) space.
+
+The array-native substrate's claim: going from bytes on disk to a space the
+kernels can run on is dominated by the pure-Python ingestion layer, not by
+the kernels.  On the 2000-vertex power-law instance shared with
+``bench_backend_speedup`` / ``bench_hierarchy`` this bench times, from the
+same edge-list file:
+
+* ``dict_read_s`` / ``dict_space_s`` — ``read_edge_list`` into the dict
+  ``Graph``, then ``NucleusSpace`` construction (the historical path);
+* ``array_read_s`` / ``array_space_s`` — ``read_edge_list_arrays`` into a
+  ``CSRGraph``, then ``CSRSpace.from_graph`` filled from the batch
+  enumerators (the ``backend="csr"`` path; no dict adjacency, no per-clique
+  tuples).
+
+κ parity is asserted in every mode — the two spaces index their cliques
+differently, so the comparison is keyed by clique, and the values must be
+byte-identical.  The end-to-end speedup target (≥ 3×) is asserted in full
+mode; smoke mode records the same fields into ``BENCH_smoke.json`` for the
+rolling trend gate.
+"""
+
+import time
+
+import pytest
+
+from repro.core.csr import CSRSpace
+from repro.core.peeling import peeling_decomposition
+from repro.core.space import NucleusSpace
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.graph.io import read_edge_list, read_edge_list_arrays, write_edge_list
+
+N, M, P, SEED = 2000, 10, 0.9, 5
+
+#: full-mode floor for (dict read + space) / (array read + space); ~6x on a
+#: quiet machine, asserted with margin for shared runners
+INGEST_TARGET = 3.0
+
+
+@pytest.fixture(scope="module")
+def edge_list_path(tmp_path_factory):
+    graph = powerlaw_cluster_graph(N, M, P, seed=SEED)
+    path = tmp_path_factory.mktemp("ingest") / "graph.txt"
+    write_edge_list(graph, path)
+    return path
+
+
+def _best_of(repeats, fn, *args):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_ingest_array_vs_dict(edge_list_path, smoke_mode, bench_record):
+    reps = 1 if smoke_mode else 3
+
+    t_dict_read, dict_graph = _best_of(reps, read_edge_list, edge_list_path)
+    t_dict_space, dict_space = _best_of(reps, NucleusSpace, dict_graph, 2, 3)
+    t_array_read, csr_graph = _best_of(reps, read_edge_list_arrays, edge_list_path)
+    t_array_space, csr_space = _best_of(
+        reps, CSRSpace.from_graph, csr_graph, 2, 3
+    )
+
+    # byte-identical kappa, keyed by clique (the index orders differ)
+    dict_kappa = dict_space.as_dict(
+        peeling_decomposition(dict_space, backend="dict").kappa
+    )
+    csr_kappa = dict(
+        zip(csr_space.cliques, peeling_decomposition(csr_space).kappa)
+    )
+    assert csr_kappa == dict_kappa
+
+    dict_total = t_dict_read + t_dict_space
+    array_total = t_array_read + t_array_space
+    speedup = dict_total / array_total if array_total else float("inf")
+    bench_record(
+        name="ingest_23",
+        dict_read_s=round(t_dict_read, 4),
+        dict_space_s=round(t_dict_space, 4),
+        array_read_s=round(t_array_read, 4),
+        array_space_s=round(t_array_space, 4),
+        dict_total_s=round(dict_total, 4),
+        array_total_s=round(array_total, 4),
+        speedup=round(speedup, 2),
+        edges=csr_graph.number_of_edges(),
+        smoke=smoke_mode,
+    )
+    print(
+        f"\ningest (2,3) on {csr_graph.number_of_edges()} edges: dict "
+        f"{dict_total * 1000:.1f} ms (read {t_dict_read * 1000:.1f} + space "
+        f"{t_dict_space * 1000:.1f}), array {array_total * 1000:.1f} ms "
+        f"(read {t_array_read * 1000:.1f} + space {t_array_space * 1000:.1f}) "
+        f"-> {speedup:.2f}x"
+    )
+    if not smoke_mode:
+        assert speedup >= INGEST_TARGET, (
+            f"array ingestion only {speedup:.2f}x faster than the dict path "
+            f"(target {INGEST_TARGET}x)"
+        )

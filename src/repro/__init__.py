@@ -32,12 +32,13 @@ from repro.core import (
     three_four_decomposition,
     truss_decomposition,
 )
-from repro.graph import Graph
+from repro.graph import CSRGraph, Graph
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Graph",
+    "CSRGraph",
     "NucleusSpace",
     "CSRSpace",
     "SpaceLike",

@@ -42,6 +42,7 @@ from repro.core.hindex import h_index
 from repro.core.result import DecompositionResult, IterationStats
 from repro.core.space import NucleusSpace, _binomial
 from repro.graph.cliques import canonical_clique, enumerate_k_cliques
+from repro.graph.csr_graph import CliqueArrayView, CSRGraph, _check_key_space
 from repro.graph.graph import Graph, sorted_vertices
 from repro.graph.triangles import degeneracy_ordering
 
@@ -52,6 +53,7 @@ except ImportError:  # pragma: no cover - exercised on numpy-free installs
 
 __all__ = [
     "CSRSpace",
+    "GraphSource",
     "BACKENDS",
     "AUTO_CSR_THRESHOLD",
     "MIN_AUTO_CSR_THRESHOLD",
@@ -93,6 +95,10 @@ AUTO_CSR_THRESHOLD_ENV = "REPRO_AUTO_CSR_THRESHOLD"
 _CALIBRATED: Optional[int] = None
 
 Clique = Tuple
+
+#: Anything the decomposition entry points accept as a graph source: the
+#: dict reference representation or the array-native CSR substrate.
+GraphSource = Union[Graph, CSRGraph]
 
 
 class CSRSpace:
@@ -184,7 +190,7 @@ class CSRSpace:
         return obj
 
     @classmethod
-    def from_graph(cls, graph: Graph, r: int, s: int) -> "CSRSpace":
+    def from_graph(cls, graph: GraphSource, r: int, s: int) -> "CSRSpace":
         """Build the CSR space of ``graph`` directly, without a NucleusSpace.
 
         The dict-of-tuples :class:`NucleusSpace` is convenient for reference
@@ -200,13 +206,25 @@ class CSRSpace:
           orientation;
         * **generic r < s** — the shared k-clique enumerator for both levels.
 
-        The clique indexing is identical to ``NucleusSpace(graph, r, s)``
-        (same enumeration order, same canonical tuples), so κ arrays computed
-        on either representation are directly comparable, and the context /
-        neighbour structure matches :meth:`from_space` exactly.
+        For a dict :class:`Graph` source, the clique indexing is identical to
+        ``NucleusSpace(graph, r, s)`` (same enumeration order, same canonical
+        tuples), so κ arrays computed on either representation are directly
+        comparable, and the context / neighbour structure matches
+        :meth:`from_space` exactly.
+
+        A :class:`CSRGraph` source takes the fully array-native route: the
+        clique tables and the s-clique membership groups come from the batch
+        enumerators of :mod:`repro.graph.csr_graph` and the incidence buffers
+        are assembled by a handful of vectorised passes — no per-clique
+        Python tuple is ever created (``cliques`` becomes a lazy
+        :class:`CliqueArrayView`).  Clique *indices* then follow the sorted
+        id order of the array tables rather than the dict enumeration order;
+        κ keyed by clique is identical either way.
         """
         if r < 1 or s <= r:
             raise ValueError(f"need 1 <= r < s, got r={r}, s={s}")
+        if isinstance(graph, CSRGraph):
+            return cls._from_csr_graph(graph, r, s)
         if (r, s) == (1, 2):
             cliques, groups = _incidence_vertex_edge(graph)
         elif (r, s) == (2, 3):
@@ -273,6 +291,83 @@ class CSRSpace:
         obj.ctx_members = ctx_members
         obj.nbr_offsets = nbr_offsets
         obj.nbr_members = nbr_members
+        obj._inverse = None
+        obj._index = None
+        return obj
+
+    @classmethod
+    def _from_csr_graph(cls, graph: CSRGraph, r: int, s: int) -> "CSRSpace":
+        """Array-native construction from a :class:`CSRGraph` source."""
+        if _np is None:  # pragma: no cover - CSRGraph itself requires numpy
+            raise RuntimeError("CSRGraph sources require numpy")
+        if (r, s) == (1, 2):
+            clique_ids, groups = _incidence_arrays_vertex_edge(graph)
+        elif (r, s) == (2, 3):
+            clique_ids, groups = _incidence_arrays_edge_triangle(graph)
+        elif (r, s) == (3, 4):
+            clique_ids, groups = _incidence_arrays_triangle_quad(graph)
+        else:
+            clique_ids, groups = _incidence_arrays_generic(graph, r, s)
+        return cls._from_incidence_arrays(r, s, clique_ids, groups, graph)
+
+    @classmethod
+    def _from_incidence_arrays(
+        cls,
+        r: int,
+        s: int,
+        clique_ids,
+        groups,
+        graph: CSRGraph,
+    ) -> "CSRSpace":
+        """Assemble the CSR buffers from array-shaped incidence.
+
+        ``clique_ids`` is the ``(n, r)`` id table of the r-cliques (rows
+        ascending by vertex id) and ``groups`` the ``(num_s, C(s, r))``
+        table mapping every s-clique to its member r-clique indices.  The
+        vectorised equivalent of :meth:`_from_incidence`: a stable argsort
+        over the group owners places every context slot, one fancy-indexed
+        gather scatters the "other members" rows, and the neighbour relation
+        falls out of a single ``np.unique`` over packed (owner, member)
+        keys.  ``cliques`` becomes a lazy :class:`CliqueArrayView` — no
+        per-clique tuples are materialised here.
+        """
+        n = len(clique_ids)
+        group_size = _binomial(s, r)
+        stride = group_size - 1
+        num_s = len(groups)
+        ctx_offsets_np = _np.zeros(n + 1, dtype=_np.int64)
+        if num_s:
+            flat = _np.ascontiguousarray(groups, dtype=_np.int64).reshape(-1)
+            _np.cumsum(_np.bincount(flat, minlength=n), out=ctx_offsets_np[1:])
+            # context slots grouped by owner, in s-clique enumeration order
+            order = _np.argsort(flat, kind="stable")
+            cols = _np.array(
+                [[j for j in range(group_size) if j != i] for i in range(group_size)],
+                dtype=_np.int64,
+            )
+            others = groups[:, cols].reshape(num_s * group_size, stride)
+            ctx_members_np = others[order].reshape(-1)
+            _check_key_space(n, n)
+            pair_keys = _np.unique(_np.repeat(flat, stride) * n + others.reshape(-1))
+            nbr_members_np = pair_keys % n
+            nbr_offsets_np = _np.zeros(n + 1, dtype=_np.int64)
+            _np.cumsum(
+                _np.bincount(pair_keys // n, minlength=n), out=nbr_offsets_np[1:]
+            )
+        else:
+            ctx_members_np = _np.empty(0, dtype=_np.int64)
+            nbr_members_np = _np.empty(0, dtype=_np.int64)
+            nbr_offsets_np = _np.zeros(n + 1, dtype=_np.int64)
+        obj = cls.__new__(cls)
+        obj.r = r
+        obj.s = s
+        obj.stride = stride
+        obj.cliques = CliqueArrayView(clique_ids, graph.labels)
+        obj.graph = graph
+        obj.ctx_offsets = _as_int64_buffer(ctx_offsets_np)
+        obj.ctx_members = _as_int64_buffer(ctx_members_np)
+        obj.nbr_offsets = _as_int64_buffer(nbr_offsets_np)
+        obj.nbr_members = _as_int64_buffer(nbr_members_np)
         obj._inverse = None
         obj._index = None
         return obj
@@ -566,6 +661,133 @@ def _incidence_generic(graph: Graph, r: int, s: int):
 
 
 # ----------------------------------------------------------------------
+# array-native incidence enumeration (CSRGraph sources)
+# ----------------------------------------------------------------------
+def _as_int64_buffer(values) -> array:
+    """Copy a numpy int64 array into the canonical ``array('q')`` storage."""
+    out = array("q")
+    out.frombytes(_np.ascontiguousarray(values, dtype=_np.int64).tobytes())
+    return out
+
+
+def _stack_rows(rows, width: int):
+    """Concatenate ``(m_i, width)`` arrays; the empty list stacks to (0, width)."""
+    rows = [r for r in rows if len(r)]
+    if not rows:
+        return _np.empty((0, width), dtype=_np.int64)
+    return _np.concatenate(rows) if len(rows) > 1 else rows[0]
+
+
+def _collect_sorted_batches(batches, width: int):
+    """Stack id-array batches into one ``(m, width)`` table of sorted rows."""
+    return _stack_rows([_np.sort(batch, axis=1) for batch in batches], width)
+
+
+def _incidence_arrays_vertex_edge(graph: CSRGraph):
+    """(1, 2): clique index *is* the vertex id; groups are the edge rows."""
+    n = graph.number_of_vertices()
+    clique_ids = _np.arange(n, dtype=_np.int64).reshape(n, 1)
+    return clique_ids, graph.edge_array()
+
+
+def _edge_key_table(graph: CSRGraph):
+    """Packed sorted keys of the ``u < v`` edge table (the (2, *) index)."""
+    n = graph.number_of_vertices()
+    _check_key_space(n, n)
+    edges = graph.edge_array()
+    return edges, edges[:, 0] * n + edges[:, 1], n
+
+
+def _incidence_arrays_edge_triangle(graph: CSRGraph):
+    """(2, 3): edge table plus batched oriented triangle listing."""
+    edges, ekeys, n = _edge_key_table(graph)
+    group_rows = []
+    for batch in graph.triangle_batches():
+        t = _np.sort(batch, axis=1)
+        group_rows.append(
+            _np.column_stack(
+                (
+                    _np.searchsorted(ekeys, t[:, 0] * n + t[:, 1]),
+                    _np.searchsorted(ekeys, t[:, 0] * n + t[:, 2]),
+                    _np.searchsorted(ekeys, t[:, 1] * n + t[:, 2]),
+                )
+            )
+        )
+    return edges, _stack_rows(group_rows, 3)
+
+
+def _incidence_arrays_triangle_quad(graph: CSRGraph):
+    """(3, 4): triangle table plus batched oriented 4-clique listing.
+
+    Triangles are keyed hierarchically — ``edge_id(a, b) * n + c`` — so the
+    packed keys stay inside int64 far beyond what ``n**3`` would allow.
+    """
+    edges, ekeys, n = _edge_key_table(graph)
+    _check_key_space(max(len(edges), 1), n)
+    tri = _collect_sorted_batches(graph.triangle_batches(), 3)
+
+    def tri_keys(rows):
+        eid = _np.searchsorted(ekeys, rows[:, 0] * n + rows[:, 1])
+        return eid * n + rows[:, 2]
+
+    keys = tri_keys(tri)
+    order = _np.argsort(keys)
+    tri = tri[order]
+    keys = keys[order]
+    sub_cols = _np.array(
+        [[0, 1, 2], [0, 1, 3], [0, 2, 3], [1, 2, 3]], dtype=_np.int64
+    )
+    group_rows = []
+    for batch in graph.clique_batches(4):
+        q = _np.sort(batch, axis=1)
+        group_rows.append(
+            _np.stack(
+                [_np.searchsorted(keys, tri_keys(q[:, cols])) for cols in sub_cols],
+                axis=1,
+            )
+        )
+    return tri, _stack_rows(group_rows, 4)
+
+
+def _incidence_arrays_generic(graph: CSRGraph, r: int, s: int):
+    """Any r < s: batch enumeration of both levels plus row-table lookup."""
+    table = _collect_sorted_batches(graph.clique_batches(r), r)
+    order = _np.lexsort(tuple(table[:, j] for j in reversed(range(r))))
+    table = table[order]
+    sub_cols = [
+        _np.array(cols, dtype=_np.int64) for cols in combinations(range(s), r)
+    ]
+    group_rows = []
+    for batch in graph.clique_batches(s):
+        q = _np.sort(batch, axis=1)
+        group_rows.append(
+            _np.stack(
+                [_lookup_rows(table, q[:, cols]) for cols in sub_cols], axis=1
+            )
+        )
+    return table, _stack_rows(group_rows, _binomial(s, r))
+
+
+def _lookup_rows(table, queries):
+    """Indices of ``queries`` rows inside the lex-sorted unique ``table``.
+
+    Overflow-free row lookup: one ``np.unique(axis=0)`` over the stacked
+    rows recovers, for every query row, its position in the sorted unique
+    set — which equals its table index because the table is itself sorted
+    and every query is guaranteed to be one of its rows (a sub-clique of an
+    enumerated s-clique is an enumerated r-clique).
+    """
+    if len(queries) == 0:
+        return _np.empty(0, dtype=_np.int64)
+    combined = _np.concatenate((table, queries))
+    uniq, inverse = _np.unique(combined, axis=0, return_inverse=True)
+    inverse = inverse.reshape(-1)  # numpy 2.1 briefly changed the axis shape
+    if len(uniq) != len(table):  # pragma: no cover - enumeration invariant
+        raise AssertionError("query rows are not a subset of the clique table")
+    return inverse[len(table):].astype(_np.int64, copy=False)
+
+
+# ----------------------------------------------------------------------
 # backend selection
 # ----------------------------------------------------------------------
 def auto_csr_threshold() -> int:
@@ -625,19 +847,20 @@ def _calibrate_threshold() -> int:
 
 
 def estimate_r_clique_count(
-    graph: Graph, r: int, *, limit: Optional[int] = None
+    graph: GraphSource, r: int, *, limit: Optional[int] = None
 ) -> int:
     """Cheaply count (or bound) the r-cliques of ``graph``.
 
-    This is the size estimator behind ``backend="auto"`` routing of
-    :class:`Graph` sources: the decision "is the space at least
+    This is the size estimator behind ``backend="auto"`` routing of graph
+    sources: the decision "is the space at least
     :data:`AUTO_CSR_THRESHOLD` r-cliques?" must not cost a full space
     construction.  ``r = 1`` and ``r = 2`` are O(1) lookups (vertex / edge
     counts); ``r = 3`` counts oriented triangles; the generic case walks the
     shared clique enumerator.  With ``limit`` the count stops as soon as it
-    reaches the limit, so the answer is exact below the limit and a
-    lower bound (== ``limit``) at or above it — exactly what a threshold
-    comparison needs.
+    reaches the limit, so the answer is exact below the limit and a lower
+    bound (at least ``limit``) once it is reached — exactly what a threshold
+    comparison needs.  Accepts a :class:`CSRGraph` too, where ``r >= 3``
+    counts batches of the array enumerator (early-exiting per batch).
     """
     if r < 1:
         raise ValueError(f"need r >= 1, got r={r}")
@@ -645,6 +868,8 @@ def estimate_r_clique_count(
         return graph.number_of_vertices()
     if r == 2:
         return graph.number_of_edges()
+    if isinstance(graph, CSRGraph):
+        return graph.count_k_cliques(r, limit=limit)
     count = 0
     if r == 3:
         order, forward = _oriented_forward(graph)
@@ -706,24 +931,28 @@ def resolve_process_backend(backend: str) -> str:
 
 
 def resolve_space(
-    source: Union[Graph, NucleusSpace, CSRSpace],
+    source: Union[GraphSource, NucleusSpace, CSRSpace],
     r: Optional[int],
     s: Optional[int],
 ) -> Union[NucleusSpace, CSRSpace]:
     """Shared source-resolution for every decomposition entry point.
 
     A prebuilt space (either representation) passes through; a graph needs
-    explicit ``r``/``s`` and gets a fresh :class:`NucleusSpace`.
+    explicit ``r``/``s``.  A dict :class:`Graph` gets a fresh
+    :class:`NucleusSpace`; a :class:`CSRGraph` goes straight to
+    :meth:`CSRSpace.from_graph` (it has no dict representation to build).
     """
     if isinstance(source, (NucleusSpace, CSRSpace)):
         return source
     if r is None or s is None:
-        raise ValueError("r and s are required when passing a Graph")
+        raise ValueError("r and s are required when passing a graph")
+    if isinstance(source, CSRGraph):
+        return CSRSpace.from_graph(source, r, s)
     return NucleusSpace(source, r, s)
 
 
 def resolve_space_for_backend(
-    source: Union[Graph, NucleusSpace, CSRSpace],
+    source: Union[GraphSource, NucleusSpace, CSRSpace],
     r: Optional[int],
     s: Optional[int],
     backend: str,
@@ -737,11 +966,23 @@ def resolve_space_for_backend(
     threshold) and routes at-or-above-threshold graphs straight to
     ``from_graph`` as well, instead of paying the dict-space construction
     just to measure it; below the threshold the dict space is built as
-    before.  Every other combination behaves like :func:`resolve_space`
-    followed by :func:`resolve_backend`.
+    before.
+
+    A :class:`CSRGraph` source is already array-native, so ``"auto"``
+    always resolves to the CSR route (no size probe — flattening back into
+    Python objects could never pay off); an explicit ``backend="dict"``
+    converts through :meth:`CSRGraph.to_graph` to honour the request.
+    Every other combination behaves like :func:`resolve_space` followed by
+    :func:`resolve_backend`.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if isinstance(source, CSRGraph):
+        if r is None or s is None:
+            raise ValueError("r and s are required when passing a graph")
+        if backend == "dict":
+            return NucleusSpace(source.to_graph(), r, s), "dict"
+        return CSRSpace.from_graph(source, r, s), "csr"
     if isinstance(source, Graph) and backend in ("csr", "auto"):
         if r is None or s is None:
             raise ValueError("r and s are required when passing a Graph")
@@ -755,14 +996,14 @@ def resolve_space_for_backend(
 
 
 def _as_csr(
-    source: Union[Graph, NucleusSpace, CSRSpace],
+    source: Union[GraphSource, NucleusSpace, CSRSpace],
     r: Optional[int],
     s: Optional[int],
 ) -> CSRSpace:
-    if isinstance(source, Graph):
+    if isinstance(source, (Graph, CSRGraph)):
         # direct construction: the dict-of-tuples detour is never built
         if r is None or s is None:
-            raise ValueError("r and s are required when passing a Graph")
+            raise ValueError("r and s are required when passing a graph")
         return CSRSpace.from_graph(source, r, s)
     if isinstance(source, CSRSpace):
         return source
@@ -794,7 +1035,7 @@ def _h_below(rho_values: List[int], current: int) -> int:
 
 
 def and_decomposition_csr(
-    source: Union[Graph, NucleusSpace, CSRSpace],
+    source: Union[GraphSource, NucleusSpace, CSRSpace],
     r: Optional[int] = None,
     s: Optional[int] = None,
     *,
@@ -964,7 +1205,7 @@ def and_decomposition_csr(
 # SND kernel
 # ----------------------------------------------------------------------
 def snd_decomposition_csr(
-    source: Union[Graph, NucleusSpace, CSRSpace],
+    source: Union[GraphSource, NucleusSpace, CSRSpace],
     r: Optional[int] = None,
     s: Optional[int] = None,
     *,

@@ -18,6 +18,7 @@ from repro.core.peeling import peeling_decomposition
 from repro.core.result import DecompositionResult
 from repro.core.snd import snd_decomposition
 from repro.core.space import NucleusSpace
+from repro.graph.csr_graph import CSRGraph
 from repro.graph.graph import Edge, Graph, Vertex
 
 __all__ = [
@@ -39,7 +40,7 @@ PARALLEL_MODES = ("thread", "process")
 
 
 def nucleus_decomposition(
-    source: Union[Graph, NucleusSpace, CSRSpace],
+    source: Union[Graph, CSRGraph, NucleusSpace, CSRSpace],
     r: Optional[int] = None,
     s: Optional[int] = None,
     *,
@@ -54,9 +55,13 @@ def nucleus_decomposition(
     Parameters
     ----------
     source:
-        A :class:`Graph` (then ``r`` and ``s`` are required) or a prebuilt
-        :class:`NucleusSpace` / :class:`CSRSpace` (then ``r``/``s`` are taken
-        from it).
+        A :class:`Graph` or array-native :class:`CSRGraph` (then ``r`` and
+        ``s`` are required) or a prebuilt :class:`NucleusSpace` /
+        :class:`CSRSpace` (then ``r``/``s`` are taken from it).  A
+        ``CSRGraph`` routes to the CSR backend for ``"auto"``/``"csr"``
+        (the space is filled straight from its batch enumerators) and
+        converts through :meth:`CSRGraph.to_graph` only on an explicit
+        ``backend="dict"`` request.
     algorithm:
         ``"peeling"`` (exact global baseline, Algorithm 1),
         ``"snd"`` (synchronous local, Algorithm 2) or
@@ -88,8 +93,8 @@ def nucleus_decomposition(
         raise ValueError(
             f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
         )
-    if isinstance(source, Graph) and (r is None or s is None):
-        raise ValueError("r and s are required when passing a Graph")
+    if isinstance(source, (Graph, CSRGraph)) and (r is None or s is None):
+        raise ValueError("r and s are required when passing a graph")
 
     if parallel is not None:
         return _parallel_dispatch(
@@ -110,7 +115,7 @@ def nucleus_decomposition(
 
 
 def _parallel_dispatch(
-    source: Union[Graph, NucleusSpace, CSRSpace],
+    source: Union[Graph, CSRGraph, NucleusSpace, CSRSpace],
     r: Optional[int],
     s: Optional[int],
     algorithm: str,

@@ -19,6 +19,7 @@ from typing import List, Optional, Union
 
 from repro.core.csr import CSRSpace, resolve_space_for_backend
 from repro.core.protocol import SpaceLike
+from repro.graph.csr_graph import CSRGraph
 from repro.graph.graph import Graph
 
 __all__ = ["degree_levels", "convergence_upper_bound", "level_of_each_clique"]
@@ -159,12 +160,12 @@ def convergence_upper_bound(
 
 
 def _resolve_space(
-    source: Union[Graph, SpaceLike],
+    source: Union[Graph, CSRGraph, SpaceLike],
     r: Optional[int],
     s: Optional[int],
     backend: str,
 ) -> SpaceLike:
-    if not isinstance(source, Graph):
+    if not isinstance(source, (Graph, CSRGraph)):
         return source
     space, _ = resolve_space_for_backend(source, r, s, backend)
     return space

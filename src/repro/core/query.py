@@ -21,11 +21,11 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.asynd import and_decomposition
-from repro.core.csr import resolve_space_for_backend
+from repro.core.csr import GraphSource, resolve_space_for_backend
 from repro.core.snd import snd_decomposition
 from repro.core.space import Clique
 from repro.graph.cliques import canonical_clique
-from repro.graph.graph import Graph, Vertex
+from repro.graph.graph import Vertex
 
 __all__ = ["estimate_local_indices", "QueryEstimate"]
 
@@ -53,7 +53,7 @@ class QueryEstimate(dict):
 
 
 def estimate_local_indices(
-    graph: Graph,
+    graph: GraphSource,
     queries: Iterable[Sequence[Vertex]],
     r: int,
     s: int,
@@ -69,6 +69,11 @@ def estimate_local_indices(
     ----------
     graph:
         The full graph (only the h-hop ball around the queries is touched).
+        Either representation works: with a dict :class:`Graph` the ball is
+        carved out by the Python BFS, with an array-native
+        :class:`~repro.graph.csr_graph.CSRGraph` both the BFS and the
+        induced-subgraph construction are numpy-vectorised and the ball's
+        space is filled from the batch enumerators.
     queries:
         Iterable of r-cliques given as vertex sequences — single vertices for
         (1, 2), edges for (2, 3), triangles for (3, 4).  Each query must be a

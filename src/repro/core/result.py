@@ -168,11 +168,16 @@ class DecompositionResult:
         Both space representations expose index-aligned ``r``, ``s`` and
         ``cliques``, which is all the result needs.
         """
+        cliques = space.cliques
+        if isinstance(cliques, list):
+            cliques = list(cliques)
+        # otherwise: an immutable lazy sequence (CliqueArrayView) — keep it
+        # as-is so building the result never materialises per-clique tuples
         return cls(
             r=space.r,
             s=space.s,
             algorithm=algorithm,
             kappa=list(kappa),
-            cliques=list(space.cliques),
+            cliques=cliques,
             **kwargs,
         )

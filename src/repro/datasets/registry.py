@@ -25,6 +25,7 @@ from functools import lru_cache
 from typing import Callable, Dict, List
 
 from repro.graph.cliques import count_k_cliques
+from repro.graph.csr_graph import CSRGraph
 from repro.graph.generators import (
     barabasi_albert_graph,
     heterogeneous_cluster_graph,
@@ -39,6 +40,7 @@ from repro.graph.triangles import count_triangles
 __all__ = [
     "DatasetSpec",
     "DATASETS",
+    "REPRESENTATIONS",
     "dataset_names",
     "load_dataset",
     "dataset_statistics",
@@ -150,17 +152,42 @@ def dataset_names(include_extras: bool = True) -> List[str]:
     return [n for n in names if n not in ("toy", "sw")]
 
 
-@lru_cache(maxsize=None)
-def load_dataset(name: str) -> Graph:
+#: Valid values of the ``representation=`` parameter of :func:`load_dataset`.
+REPRESENTATIONS = ("dict", "csr")
+
+
+def load_dataset(name: str, representation: str = "dict"):
     """Build (and memoise) the named dataset.
 
-    Raises ``KeyError`` with the list of valid names for typos.
+    ``representation`` selects the graph substrate: ``"dict"`` (default)
+    returns the reference :class:`Graph`, ``"csr"`` the array-native
+    :class:`~repro.graph.csr_graph.CSRGraph` (converted once from the dict
+    build and memoised separately, so mixed-representation suites pay each
+    conversion at most once per process).  Raises ``KeyError`` with the list
+    of valid names for typos.
     """
+    if representation not in REPRESENTATIONS:
+        raise ValueError(
+            f"unknown representation {representation!r}; "
+            f"expected one of {REPRESENTATIONS}"
+        )
     if name not in DATASETS:
         raise KeyError(
             f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
         )
+    if representation == "csr":
+        return _load_csr(name)
+    return _load_dict(name)
+
+
+@lru_cache(maxsize=None)
+def _load_dict(name: str) -> Graph:
     return DATASETS[name].builder()
+
+
+@lru_cache(maxsize=None)
+def _load_csr(name: str) -> CSRGraph:
+    return CSRGraph.from_graph(_load_dict(name))
 
 
 def dataset_statistics(name: str, *, max_clique_size: int = 4) -> Dict[str, int]:

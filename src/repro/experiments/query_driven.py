@@ -32,6 +32,7 @@ def run_query_driven(
     hop_radii: Sequence[int] = (0, 1, 2, 3),
     seed: int = 13,
     backend: str = "auto",
+    graph=None,
 ) -> List[Dict[str, object]]:
     """Accuracy of query-driven κ estimates as a function of the hop radius.
 
@@ -40,9 +41,15 @@ def run_query_driven(
     neighbourhood (the cost measure).  ``backend`` selects the space
     representation for both the exact baseline and every local ball; queries
     are sampled by clique *index* and compared index-to-index, so no
-    tuple-keyed κ dict is ever built.
+    tuple-keyed κ dict is ever built.  An explicit ``graph`` (either
+    representation — e.g. a :class:`~repro.graph.csr_graph.CSRGraph`
+    freshly ingested from an edge list, whose h-hop balls are then carved
+    out with the vectorised BFS) overrides the dataset lookup; ``dataset``
+    then only labels the rows.  Registry datasets stay on the dict source
+    so the sampled query indices are backend-independent.
     """
-    graph = load_dataset(dataset)
+    if graph is None:
+        graph = load_dataset(dataset)
     space, resolved = resolve_space_for_backend(graph, r, s, backend)
     exact_kappa = peeling_decomposition(space, backend=resolved).kappa
 
@@ -90,6 +97,7 @@ def run_query_driven_suite(
     hop_radii: Sequence[int] = (1, 2, 3),
     seed: int = 13,
     backend: str = "auto",
+    graph=None,
 ) -> List[Dict[str, object]]:
     """Query-driven accuracy for both the core (1,2) and truss (2,3) cases."""
     rows: List[Dict[str, object]] = []
@@ -103,6 +111,7 @@ def run_query_driven_suite(
                 hop_radii=hop_radii,
                 seed=seed,
                 backend=backend,
+                graph=graph,
             )
         )
     return rows

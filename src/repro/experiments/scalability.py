@@ -24,6 +24,7 @@ from repro.core.csr import CSRSpace
 from repro.core.peeling import peeling_decomposition
 from repro.core.space import NucleusSpace
 from repro.datasets.registry import load_dataset
+from repro.graph.csr_graph import HAVE_NUMPY
 from repro.experiments.tables import format_table
 from repro.parallel.procpool import PersistentPool
 from repro.parallel.runner import (
@@ -115,8 +116,12 @@ def run_measured_scalability(
     if algorithm not in ("snd", "and"):
         raise ValueError(f"algorithm must be 'snd' or 'and', got {algorithm!r}")
     rows: List[Dict[str, object]] = []
+    # the pool runs on CSR buffers anyway, so feed it from the array-native
+    # substrate when numpy is available: the space is filled straight from
+    # the CSRGraph batch enumerators instead of the dict enumeration
+    representation = "csr" if HAVE_NUMPY else "dict"
     for dataset in datasets:
-        graph = load_dataset(dataset)
+        graph = load_dataset(dataset, representation=representation)
         space = CSRSpace.from_graph(graph, r, s)
         baseline: Optional[float] = None
         reference_kappa: Optional[List[int]] = None

@@ -7,6 +7,7 @@ graph as adjacency sets over integer (or hashable) vertex identifiers.
 """
 
 from repro.graph.graph import Graph, sorted_vertices
+from repro.graph.csr_graph import CliqueArrayView, CSRGraph
 from repro.graph.generators import (
     barabasi_albert_graph,
     erdos_renyi_graph,
@@ -19,6 +20,7 @@ from repro.graph.generators import (
 )
 from repro.graph.io import (
     read_edge_list,
+    read_edge_list_arrays,
     read_json_graph,
     write_edge_list,
     write_json_graph,
@@ -37,6 +39,8 @@ from repro.graph.cliques import (
 
 __all__ = [
     "Graph",
+    "CSRGraph",
+    "CliqueArrayView",
     "sorted_vertices",
     "barabasi_albert_graph",
     "erdos_renyi_graph",
@@ -47,6 +51,7 @@ __all__ = [
     "ring_of_cliques",
     "watts_strogatz_graph",
     "read_edge_list",
+    "read_edge_list_arrays",
     "read_json_graph",
     "write_edge_list",
     "write_json_graph",

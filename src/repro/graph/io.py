@@ -4,18 +4,38 @@ The paper's datasets are distributed as whitespace-separated edge lists (SNAP
 format); :func:`read_edge_list` accepts that format, including ``#`` comment
 lines.  JSON round-tripping is provided for small fixtures checked into test
 suites.
+
+Two ingestion paths cover the two graph representations:
+
+* :func:`read_edge_list` — line-by-line parse into the dict
+  :class:`~repro.graph.graph.Graph` (reference semantics);
+* :func:`read_edge_list_arrays` — whole-file numpy parse straight into a
+  :class:`~repro.graph.csr_graph.CSRGraph`: the token stream becomes one
+  int64 (or label) array, vertex ids are assigned by ``np.unique``, and the
+  CSR adjacency is assembled without ever materialising a dict adjacency or
+  per-edge Python tuples.  This is the entry point of the array-native
+  ``backend="csr"`` pipeline.
+
+Both readers transparently decompress ``.gz`` / ``.bz2`` files and accept an
+optional ``delimiter`` (default: any whitespace).
 """
 
 from __future__ import annotations
 
+import bz2
+import gzip
+import io as _io
 import json
+import re
+import warnings
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from repro.graph.graph import Graph, sorted_vertices
 
 __all__ = [
     "read_edge_list",
+    "read_edge_list_arrays",
     "write_edge_list",
     "read_json_graph",
     "write_json_graph",
@@ -23,23 +43,42 @@ __all__ = [
 
 PathLike = Union[str, Path]
 
+_OPENERS = {".gz": gzip.open, ".bz2": bz2.open}
 
-def read_edge_list(path: PathLike, *, comment: str = "#") -> Graph:
+#: Anything outside plain unsigned decimal tokens disqualifies the
+#: ``np.fromstring`` fast path (it stops silently at malformed input).
+_NON_DIGIT = re.compile(r"[^0-9\s]")
+
+
+def _open_text(path: Path):
+    """Open a text file, transparently decompressing ``.gz`` / ``.bz2``."""
+    opener = _OPENERS.get(path.suffix.lower())
+    if opener is not None:
+        return opener(path, "rt", encoding="utf-8")
+    return path.open("r", encoding="utf-8")
+
+
+def read_edge_list(
+    path: PathLike, *, comment: str = "#", delimiter: Optional[str] = None
+) -> Graph:
     """Read a whitespace-separated edge list into a :class:`Graph`.
 
     Lines starting with ``comment`` (after stripping) and blank lines are
     ignored.  Vertex tokens that parse as integers are stored as ``int``;
     anything else is kept as a string.  Self-loops are skipped silently and
-    duplicate edges collapse (the graph is simple).
+    duplicate edges collapse (the graph is simple).  ``.gz`` / ``.bz2``
+    paths are decompressed transparently, and ``delimiter`` splits on a
+    specific separator (e.g. ``","`` for CSV-ish lists) instead of arbitrary
+    whitespace.
     """
     graph = Graph()
     path = Path(path)
-    with path.open("r", encoding="utf-8") as handle:
+    with _open_text(path) as handle:
         for lineno, raw in enumerate(handle, start=1):
             line = raw.strip()
             if not line or line.startswith(comment):
                 continue
-            parts = line.split()
+            parts = line.split(delimiter)
             if len(parts) < 2:
                 raise ValueError(
                     f"{path}:{lineno}: expected at least two tokens, got {line!r}"
@@ -50,13 +89,203 @@ def read_edge_list(path: PathLike, *, comment: str = "#") -> Graph:
     return graph
 
 
-def write_edge_list(graph: Graph, path: PathLike) -> None:
-    """Write the graph as one ``u v`` pair per line (canonical edge order)."""
+def read_edge_list_arrays(
+    path: PathLike, *, comment: str = "#", delimiter: Optional[str] = None
+):
+    """Read an edge list straight into a :class:`~repro.graph.csr_graph.CSRGraph`.
+
+    The array-native sibling of :func:`read_edge_list`: the whole file is
+    parsed as one numpy token stream (``fromstring``-style for integer
+    vertex labels, a vectorised string factorisation otherwise) and the CSR
+    adjacency is built directly from the resulting edge arrays — no dict
+    :class:`Graph` and no per-edge tuples in between.  Semantics match the
+    dict reader exactly: ``comment`` lines and blanks are ignored, extra
+    columns beyond the first two are dropped, self-loops are skipped,
+    duplicates collapse, integer tokens become ``int`` labels and anything
+    else stays a string.  ``.gz`` / ``.bz2`` are decompressed transparently
+    and ``delimiter`` overrides whitespace splitting.
+
+    Requires numpy (the CSR substrate is array-native by definition).
+    """
+    import numpy as np
+
+    from repro.graph.csr_graph import CSRGraph, _require_numpy
+
+    _require_numpy()
     path = Path(path)
+    with _open_text(path) as handle:
+        text = handle.read()
+    data, num_lines = _data_lines(text, comment)
+    if not num_lines:
+        return CSRGraph.from_edge_arrays(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            num_vertices=0, labels=[],
+        )
+    if delimiter is not None:
+        data = data.replace(delimiter, " ")
+    # column count from the first data line; extra columns beyond the first
+    # two (SNAP timestamps etc.) are parsed and dropped, like the dict reader
+    columns = len(data.split("\n", 1)[0].split())
+    if not _uniform_columns(np, data, num_lines, columns):
+        # ragged rows: per-line parse, semantics identical to read_edge_list
+        # (each line contributes its first two tokens) — still no dict graph
+        first, second = [], []
+        for lineno, line in enumerate(data.split("\n"), start=1):
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(
+                    f"{path}:{lineno}: expected at least two tokens, "
+                    f"got {line.strip()!r}"
+                )
+            first.append(parts[0])
+            second.append(parts[1])
+        return _pairs_from_label_tokens(np, first, second)
+    if columns < 2:
+        raise ValueError(f"{path}: expected at least two tokens per line")
+    values = _parse_int_tokens(np, data, num_lines * columns)
+    if values is None:
+        # non-integer labels: tokenise and parse the first two columns per
+        # token exactly like the dict reader's _parse_vertex (extra columns
+        # must not leak into the vertex set), factorise in sorted order
+        tokens = data.split()
+        return _pairs_from_label_tokens(
+            np, tokens[0::columns], tokens[1::columns]
+        )
+    pairs = values.reshape(-1, columns)[:, :2]
+    return CSRGraph.from_label_arrays(pairs[:, 0], pairs[:, 1])
+
+
+def _uniform_columns(np, data, num_lines, columns):
+    """Exact check that every data line has the same token count.
+
+    The whole-stream parsers reshape the flat token array into rows, which
+    is only sound when the file is rectangular; a ragged file whose token
+    total happens to divide evenly would otherwise misparse silently.  The
+    check is a handful of vectorised passes over the raw bytes (token
+    starts = non-space bytes whose predecessor is space/newline/BOF,
+    bucketed per line), so it costs far less than tokenising.
+    """
+    buf = np.frombuffer(data.encode("utf-8"), dtype=np.uint8)
+    is_sep = (buf == 32) | (buf == 9)
+    is_newline = buf == 10
+    in_token = ~(is_sep | is_newline)
+    starts = in_token.copy()
+    starts[1:] &= ~in_token[:-1]
+    per_line = np.bincount(
+        np.cumsum(is_newline)[starts], minlength=num_lines
+    )
+    return bool((per_line == columns).all())
+
+
+def _pairs_from_label_tokens(np, first, second):
+    """Build a CSRGraph from two parallel token columns via label parsing."""
+    from repro.graph.csr_graph import CSRGraph
+
+    parsed_first = [_parse_vertex(t) for t in first]
+    parsed_second = [_parse_vertex(t) for t in second]
+    labels = sorted_vertices(set(parsed_first) | set(parsed_second))
+    ids = {label: i for i, label in enumerate(labels)}
+    count = len(parsed_first)
+    src = np.fromiter((ids[v] for v in parsed_first), dtype=np.int64, count=count)
+    dst = np.fromiter((ids[v] for v in parsed_second), dtype=np.int64, count=count)
+    return CSRGraph.from_edge_arrays(
+        src, dst, num_vertices=len(labels), labels=labels
+    )
+
+
+def _data_lines(text, comment):
+    """Normalise an edge-list text to pure data: ``(data, line_count)``.
+
+    The fast path handles the overwhelmingly common layout — an optional
+    block of leading comment / blank lines followed by uniform data — by
+    slicing off the header and *counting* newlines instead of rebuilding the
+    file line by line.  Anything irregular (interior comments, blank or
+    whitespace-only lines, carriage returns) falls back to an exact
+    line-wise filter; both paths return the same data stream.
+    """
+    # slice off leading comment / blank lines without touching the rest
+    pos = 0
+    length = len(text)
+    while pos < length:
+        newline = text.find("\n", pos)
+        end = length if newline == -1 else newline
+        stripped = text[pos:end].strip()
+        if stripped and not (comment and stripped.startswith(comment)):
+            break
+        pos = length if newline == -1 else newline + 1
+    text = text[pos:]
+    irregular = (
+        (comment and comment in text)
+        or "\n\n" in text
+        or " \n" in text
+        or "\t\n" in text
+        or "\r" in text
+    )
+    if irregular:
+        lines = [
+            line
+            for line in text.splitlines()
+            if line.strip()
+            and not (comment and line.lstrip().startswith(comment))
+        ]
+        return "\n".join(lines), len(lines)
+    text = text.rstrip()
+    if not text:
+        return "", 0
+    return text, text.count("\n") + 1
+
+
+def _parse_int_tokens(np, data, expected):
+    """Parse the whole token stream as int64, or ``None`` for the label path.
+
+    ``np.fromstring(..., sep=' ')`` is the fastest text parser numpy ships
+    (deprecated, not removed — hence the targeted warning filter), but it
+    silently stops at the first malformed token, so it is only trusted on a
+    digits-and-whitespace stream whose parsed count matches ``expected``.
+    Streams with signs or stray characters go through ``np.array`` over the
+    split tokens, which still converts in C and raises on bad input.
+    """
+    if not _NON_DIGIT.search(data):
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                values = np.fromstring(data, dtype=np.int64, sep=" ")
+            if values.size == expected:
+                return values
+        except (AttributeError, ValueError, TypeError,
+                _io.UnsupportedOperation):
+            pass
+    tokens = data.split()
+    if len(tokens) != expected:
+        return None
+    try:
+        return np.array(tokens, dtype=np.int64)
+    except (ValueError, OverflowError):
+        return None
+
+
+def write_edge_list(graph, path: PathLike) -> None:
+    """Write the graph as one ``u v`` pair per line.
+
+    Edges are sorted with the same type-stable key as
+    :func:`~repro.graph.graph.sorted_vertices` (integer labels numerically,
+    mixed types grouped deterministically) — sorting by ``repr`` put vertex
+    10 before vertex 2, so a write → read round-trip reordered integer
+    graphs relative to every other ordering in the package.  Accepts either
+    a :class:`Graph` or a :class:`~repro.graph.csr_graph.CSRGraph`.
+    """
+    path = Path(path)
+    edges = list(graph.edges())
+    try:
+        edges.sort(key=lambda e: ((type(e[0]).__name__, e[0]),
+                                  (type(e[1]).__name__, e[1])))
+    except TypeError:
+        edges.sort(key=lambda e: ((type(e[0]).__name__, repr(e[0])),
+                                  (type(e[1]).__name__, repr(e[1]))))
     with path.open("w", encoding="utf-8") as handle:
         handle.write(f"# vertices={graph.number_of_vertices()} "
                      f"edges={graph.number_of_edges()}\n")
-        for u, v in sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1]))):
+        for u, v in edges:
             handle.write(f"{u} {v}\n")
 
 

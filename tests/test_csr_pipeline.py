@@ -24,7 +24,10 @@ from repro.core.peeling import peeling_decomposition
 from repro.core.query import estimate_local_indices
 from repro.core.result import DecompositionResult
 from repro.core.space import NucleusSpace
+from repro.graph.csr_graph import HAVE_NUMPY, CliqueArrayView
 from repro.graph.generators import powerlaw_cluster_graph
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list, read_edge_list_arrays, write_edge_list
 
 
 @pytest.fixture
@@ -87,6 +90,71 @@ class TestNoDictEndToEnd:
         space = CSRSpace.from_graph(powerlaw_cluster_graph(60, 4, 0.6, seed=6), 2, 3)
         result = peeling_decomposition(space)
         assert [result.kappa_at(i) for i in range(len(result))] == result.kappa
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="the array substrate requires numpy")
+class TestArrayIngestEndToEnd:
+    """Edge-list file → CSRGraph → CSRSpace → DecompositionResult, with the
+    dict graph adjacency and every per-clique Python tuple instrumented away:
+    the ``backend="csr"`` ingestion pipeline must run to a finished result
+    without constructing either, for every r ≤ 3 instance."""
+
+    @pytest.fixture(scope="class")
+    def edge_list_path(self, tmp_path_factory):
+        graph = powerlaw_cluster_graph(70, 4, 0.6, seed=8)
+        path = tmp_path_factory.mktemp("ingest") / "graph.txt"
+        write_edge_list(graph, path)
+        return path
+
+    @staticmethod
+    def _forbid(monkeypatch):
+        def no_graph(self, *args, **kwargs):
+            raise AssertionError("dict Graph adjacency built on the array path")
+
+        def no_space(self, *args, **kwargs):
+            raise AssertionError("NucleusSpace constructed on the array path")
+
+        def no_tuple(self, *args, **kwargs):
+            raise AssertionError("per-clique tuple materialised on the array path")
+
+        monkeypatch.setattr(Graph, "__init__", no_graph)
+        monkeypatch.setattr(NucleusSpace, "__init__", no_space)
+        monkeypatch.setattr(CliqueArrayView, "__getitem__", no_tuple)
+        monkeypatch.setattr(CliqueArrayView, "__iter__", no_tuple)
+        monkeypatch.setattr(DecompositionResult, "as_dict", no_tuple)
+        monkeypatch.setattr(DecompositionResult, "_mapping", no_tuple)
+        monkeypatch.setattr(CSRSpace, "as_dict", no_tuple)
+
+    @pytest.mark.parametrize("r,s", [(1, 2), (2, 3), (3, 4)])
+    @pytest.mark.parametrize("algorithm", ["and", "snd", "peeling"])
+    def test_edge_list_to_result_is_array_native(
+        self, edge_list_path, monkeypatch, r, s, algorithm
+    ):
+        with monkeypatch.context() as patch:
+            self._forbid(patch)
+            graph = read_edge_list_arrays(edge_list_path)
+            result = nucleus_decomposition(
+                graph, r, s, algorithm=algorithm, backend="csr"
+            )
+            assert result.converged
+            assert result.operations["backend"] == "csr"
+        # instrumentation lifted: κ keyed by clique must match the dict
+        # reference pipeline byte for byte
+        reference = nucleus_decomposition(
+            read_edge_list(edge_list_path), r, s,
+            algorithm=algorithm, backend="dict",
+        )
+        assert dict(zip(result.cliques, result.kappa)) == reference.as_dict()
+
+    def test_auto_backend_on_csr_graph_is_array_native(
+        self, edge_list_path, monkeypatch
+    ):
+        """``backend="auto"`` must not downgrade a CSRGraph source."""
+        with monkeypatch.context() as patch:
+            self._forbid(patch)
+            graph = read_edge_list_arrays(edge_list_path)
+            result = nucleus_decomposition(graph, 2, 3, backend="auto")
+            assert result.operations["backend"] == "csr"
 
 
 class TestAutoThresholdCalibration:
