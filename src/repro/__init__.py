@@ -16,10 +16,11 @@ Quickstart
 True
 """
 
-from repro import core, datasets, graph, parallel
+from repro import core, datasets, graph, parallel, store
 from repro.core import (
     CSRSpace,
     DecompositionResult,
+    HierarchyIndex,
     NucleusSpace,
     SpaceLike,
     and_decomposition,
@@ -33,6 +34,7 @@ from repro.core import (
     truss_decomposition,
 )
 from repro.graph import CSRGraph, Graph
+from repro.store import Bundle, StoreFormatError, open_bundle, save_bundle
 
 __version__ = "1.0.0"
 
@@ -51,10 +53,16 @@ __all__ = [
     "snd_decomposition",
     "and_decomposition",
     "build_hierarchy",
+    "HierarchyIndex",
     "estimate_local_indices",
+    "Bundle",
+    "StoreFormatError",
+    "save_bundle",
+    "open_bundle",
     "core",
     "graph",
     "datasets",
     "parallel",
+    "store",
     "__version__",
 ]

@@ -176,6 +176,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="also report the densest nucleus of the hierarchy (implies "
         "building the hierarchy from the in-memory result)",
     )
+    dec.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help="persist the run as an on-disk bundle (graph, CSR space, "
+        "kappa result and hierarchy interval index; see docs/FORMAT.md) "
+        "for instant reopening with --load",
+    )
+    dec.add_argument(
+        "--load",
+        metavar="DIR",
+        default=None,
+        help="reopen a bundle saved with --save and serve the summary from "
+        "its memmapped buffers — parse, enumeration and decomposition are "
+        "all skipped; --r/--s/--algorithm come from the bundle",
+    )
 
     return parser
 
@@ -189,6 +205,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         # a silently discarded worker count looks like a slow parallel run;
         # fail loudly instead
         parser.error("--workers requires --parallel {thread,process}")
+    if args.command == "decompose" and args.load is not None:
+        if args.save is not None:
+            parser.error("--load and --save are mutually exclusive")
+        if args.edge_list is not None:
+            parser.error("--load replaces the input; drop --edge-list")
+        if args.parallel is not None:
+            parser.error("--load skips the decomposition; drop --parallel")
 
     if args.command == "datasets":
         print(format_datasets_table(run_datasets_table()))
@@ -264,6 +287,9 @@ def _ingest_edge_list(path: str, backend: str):
 
 
 def _run_decompose(args: argparse.Namespace) -> None:
+    if args.load:
+        _run_decompose_loaded(args)
+        return
     if args.edge_list:
         graph = _ingest_edge_list(args.edge_list, args.backend)
     else:
@@ -277,9 +303,12 @@ def _run_decompose(args: argparse.Namespace) -> None:
     # and no second decomposition.  backend="csr" therefore feeds the whole
     # pipeline from one CSRSpace.from_graph construction.
     run_applications = args.hierarchy or args.densest
+    # --save persists the space and the hierarchy interval index alongside
+    # the result, so both must exist even when no application was requested
+    need_space = run_applications or args.save is not None
     space = None
     source = graph
-    if run_applications:
+    if need_space:
         backend = (
             resolve_process_backend(args.backend)
             if args.parallel == "process"
@@ -302,12 +331,59 @@ def _run_decompose(args: argparse.Namespace) -> None:
         for k, count in result.kappa_histogram().items()
     ]
     print(tables.format_table(histogram_rows, title="kappa histogram"))
-    if run_applications:
+    hierarchy = None
+    if need_space:
         hierarchy = build_hierarchy(space, result)
+    if args.hierarchy:
+        print(tables.format_table(hierarchy.to_rows(), title="nucleus hierarchy"))
+    if args.densest:
+        nucleus, density = best_nucleus(graph, args.r, args.s, hierarchy=hierarchy)
+        if nucleus is None:
+            print("densest nucleus: none (no nucleus meets the size threshold)")
+        else:
+            print(
+                f"densest nucleus: k={nucleus.k} with "
+                f"{len(nucleus.vertices)} vertices, "
+                f"{len(nucleus.clique_indices)} r-cliques, "
+                f"edge density {density:.4f}"
+            )
+    if args.save:
+        from repro.store import save_bundle
+
+        path = save_bundle(
+            args.save, graph=graph, space=space, result=result, hierarchy=hierarchy
+        )
+        print(f"saved bundle: {path}")
+
+
+def _run_decompose_loaded(args: argparse.Namespace) -> None:
+    """Serve ``decompose --load`` entirely from a stored bundle.
+
+    No parsing, enumeration or decomposition happens: the summary and the
+    κ histogram come off the memmapped result, and the applications
+    (--hierarchy / --densest) reuse the memmapped space and the stored
+    result.  The instance (r, s) and algorithm are whatever was saved;
+    --r/--s/--algorithm/--backend on the command line are ignored.
+    """
+    from repro.store import open_bundle
+
+    bundle = open_bundle(args.load)
+    result = bundle.result
+    print(f"[loaded {bundle.summary()}]")
+    print(result.summary())
+    histogram_rows = [
+        {"kappa": k, "r_cliques": count}
+        for k, count in result.kappa_histogram().items()
+    ]
+    print(tables.format_table(histogram_rows, title="kappa histogram"))
+    if args.hierarchy or args.densest:
+        hierarchy = build_hierarchy(bundle.space, result)
         if args.hierarchy:
             print(tables.format_table(hierarchy.to_rows(), title="nucleus hierarchy"))
         if args.densest:
-            nucleus, density = best_nucleus(graph, args.r, args.s, hierarchy=hierarchy)
+            nucleus, density = best_nucleus(
+                bundle.graph, result.r, result.s, hierarchy=hierarchy
+            )
             if nucleus is None:
                 print("densest nucleus: none (no nucleus meets the size threshold)")
             else:

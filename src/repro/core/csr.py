@@ -104,11 +104,49 @@ GraphSource = Union[Graph, CSRGraph]
 class CSRSpace:
     """Flat-array view of an (r, s) clique space.
 
-    Build one with :meth:`from_space` (or ``NucleusSpace.to_csr()``); the
-    constructor takes prebuilt arrays and is mostly useful for tests and
-    deserialisation.  The read API mirrors :class:`NucleusSpace` (``__len__``,
-    ``s_degree``, ``s_degrees``, ``contexts``, ``neighbors``, ``as_dict``) so
-    ordering helpers and result construction work on either representation.
+    Build one with :meth:`from_graph` (straight from either graph
+    representation, no dict space in between), :meth:`from_space` (or
+    ``NucleusSpace.to_csr()``); the constructor takes prebuilt arrays and
+    is mostly useful for tests and deserialisation.  The read API mirrors
+    :class:`NucleusSpace` (``__len__``, ``s_degree``, ``s_degrees``,
+    ``contexts``, ``neighbors``, ``as_dict``) so ordering helpers and
+    result construction work on either representation.
+
+    Attributes
+    ----------
+    r, s : int
+        The nucleus instance; r-cliques are indexed ``0..len(self) - 1``.
+    stride : int
+        ``C(s, r) − 1`` — partner cliques per context; ``ctx_members`` is
+        grouped in runs of this length.
+    cliques : sequence
+        The r-clique tuples (or a lazy
+        :class:`~repro.graph.csr_graph.CliqueArrayView`), index-aligned
+        with every other buffer.
+    ctx_offsets, ctx_members : flat int64 buffers
+        CSR incidence of contexts: the contexts of clique ``i`` occupy
+        ``ctx_members[ctx_offsets[i]:ctx_offsets[i + 1]]``, ``stride``
+        entries per context.
+    nbr_offsets, nbr_members : flat int64 buffers
+        CSR adjacency of distinct S-neighbours.
+
+    The four incidence buffers are opaque int64 sequences (``array('q')``
+    when built in memory, read-only memmaps when reopened from an on-disk
+    bundle); the kernels view them through ``numpy.frombuffer`` either
+    way.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import ring_of_cliques
+    >>> space = CSRSpace.from_graph(ring_of_cliques(3, 4), 2, 3)
+    >>> space.r, space.s, space.stride
+    (2, 3, 2)
+    >>> len(space)                 # edges of the graph = r-cliques of (2, 3)
+    21
+    >>> space.s_degree(0)          # triangles the first edge participates in
+    2
+    >>> space.find_index(space.cliques[5])
+    5
     """
 
     __slots__ = (
@@ -930,6 +968,35 @@ def resolve_process_backend(backend: str) -> str:
     return "csr"
 
 
+def _unwrap_bundle(source, r: Optional[int], s: Optional[int], *, prefer_graph: bool = False):
+    """Swap an opened :class:`~repro.store.bundle.Bundle` for a component.
+
+    The stored space is used when it matches the requested instance (or no
+    instance was requested); otherwise the stored graph, so a bundle saved
+    for one (r, s) still serves as a graph source for another.  With
+    ``prefer_graph`` the graph is taken even when the space matches — the
+    dict backend cannot run on a memmapped :class:`CSRSpace`.
+    """
+    from repro.store.bundle import Bundle  # deferred: store imports this module
+
+    if not isinstance(source, Bundle):
+        return source
+    if (
+        not prefer_graph
+        and source.has("space")
+        and (r is None or (source.r, source.s) == (r, s))
+    ):
+        return source.space
+    if source.has("graph"):
+        return source.graph
+    if source.has("space"):
+        raise ValueError(
+            f"bundle {source.path} stores a ({source.r},{source.s}) space and "
+            f"no graph; cannot serve the requested ({r},{s}) instance"
+        )
+    raise ValueError(f"bundle {source.path} stores neither a space nor a graph")
+
+
 def resolve_space(
     source: Union[GraphSource, NucleusSpace, CSRSpace],
     r: Optional[int],
@@ -941,7 +1008,10 @@ def resolve_space(
     explicit ``r``/``s``.  A dict :class:`Graph` gets a fresh
     :class:`NucleusSpace`; a :class:`CSRGraph` goes straight to
     :meth:`CSRSpace.from_graph` (it has no dict representation to build).
+    An opened bundle contributes its stored space when the instance matches,
+    its stored graph otherwise (see :func:`_unwrap_bundle`).
     """
+    source = _unwrap_bundle(source, r, s)
     if isinstance(source, (NucleusSpace, CSRSpace)):
         return source
     if r is None or s is None:
@@ -977,6 +1047,7 @@ def resolve_space_for_backend(
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    source = _unwrap_bundle(source, r, s, prefer_graph=backend == "dict")
     if isinstance(source, CSRGraph):
         if r is None or s is None:
             raise ValueError("r and s are required when passing a graph")
@@ -1000,6 +1071,7 @@ def _as_csr(
     r: Optional[int],
     s: Optional[int],
 ) -> CSRSpace:
+    source = _unwrap_bundle(source, r, s)
     if isinstance(source, (Graph, CSRGraph)):
         # direct construction: the dict-of-tuples detour is never built
         if r is None or s is None:

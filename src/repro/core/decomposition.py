@@ -2,10 +2,16 @@
 
 These are the functions most users (and all examples) should call:
 
->>> from repro import core_decomposition
->>> result = core_decomposition(graph)                 # doctest: +SKIP
->>> result = truss_decomposition(graph, algorithm="and")   # doctest: +SKIP
->>> result = nucleus_decomposition(graph, r=3, s=4)        # doctest: +SKIP
+>>> from repro.core.decomposition import (
+...     core_decomposition, truss_decomposition, nucleus_decomposition)
+>>> from repro.graph.generators import ring_of_cliques
+>>> graph = ring_of_cliques(num_cliques=4, clique_size=5)
+>>> core_decomposition(graph).max_kappa()
+4
+>>> truss_decomposition(graph, algorithm="and").max_kappa()
+3
+>>> nucleus_decomposition(graph, r=3, s=4).converged
+True
 """
 
 from __future__ import annotations
@@ -61,7 +67,10 @@ def nucleus_decomposition(
         ``CSRGraph`` routes to the CSR backend for ``"auto"``/``"csr"``
         (the space is filled straight from its batch enumerators) and
         converts through :meth:`CSRGraph.to_graph` only on an explicit
-        ``backend="dict"`` request.
+        ``backend="dict"`` request.  An opened store
+        :class:`~repro.store.bundle.Bundle` is accepted too: its memmapped
+        space is used when the (r, s) instance matches, its stored graph
+        otherwise.
     algorithm:
         ``"peeling"`` (exact global baseline, Algorithm 1),
         ``"snd"`` (synchronous local, Algorithm 2) or
@@ -88,6 +97,33 @@ def nucleus_decomposition(
     Returns
     -------
     DecompositionResult
+        κ per r-clique (index-aligned with the space), plus algorithm
+        metadata: iteration count, convergence flag, operation counters.
+
+    Raises
+    ------
+    ValueError
+        Unknown ``algorithm``/``backend``/``parallel`` value, a graph
+        source without ``r``/``s``, or ``workers`` without ``parallel``.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import ring_of_cliques
+    >>> graph = ring_of_cliques(num_cliques=3, clique_size=4)
+    >>> result = nucleus_decomposition(graph, 2, 3, algorithm="peeling")
+    >>> result.max_kappa()
+    2
+    >>> local = nucleus_decomposition(graph, 2, 3, algorithm="and")
+    >>> local.kappa == result.kappa and local.converged
+    True
+
+    The backend never changes κ, only the data structures the kernels
+    run on:
+
+    >>> csr = nucleus_decomposition(graph, 2, 3, algorithm="peeling",
+    ...                             backend="csr")
+    >>> csr.kappa == result.kappa
+    True
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(

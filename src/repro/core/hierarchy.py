@@ -154,6 +154,7 @@ class NucleusHierarchy:
         self.kappa = list(kappa)
         self.nodes = nodes
         self._by_id = {node.node_id: node for node in nodes}
+        self._interval_index = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -206,6 +207,23 @@ class NucleusHierarchy:
             path.append(node.parent)
             node = self._by_id[node.parent]
         return path
+
+    def interval_index(self):
+        """Euler pre/post-order interval index of this forest (lazy, cached).
+
+        Returns a :class:`repro.core.intervals.HierarchyIndex`: flat int64
+        arrays answering ancestor/descendant tests with two integer
+        comparisons and member-run queries with binary searches — without
+        walking :class:`Nucleus` objects or materialising vertex sets.  The
+        arrays are what :mod:`repro.store.bundle` persists, so a bundle
+        reopened via memmap serves the same queries with zero rebuild.
+        Requires numpy.
+        """
+        if self._interval_index is None:
+            from repro.core.intervals import build_interval_index
+
+            self._interval_index = build_interval_index(self)
+        return self._interval_index
 
     def to_rows(self) -> List[Dict[str, object]]:
         """Flatten the hierarchy into table rows (used by examples / CLI)."""

@@ -73,7 +73,9 @@ def estimate_local_indices(
         carved out by the Python BFS, with an array-native
         :class:`~repro.graph.csr_graph.CSRGraph` both the BFS and the
         induced-subgraph construction are numpy-vectorised and the ball's
-        space is filled from the batch enumerators.
+        space is filled from the batch enumerators.  An opened store
+        :class:`~repro.store.bundle.Bundle` is accepted too — its memmapped
+        graph serves the BFS without any parsing.
     queries:
         Iterable of r-cliques given as vertex sequences — single vertices for
         (1, 2), edges for (2, 3), triangles for (3, 4).  Each query must be a
@@ -104,6 +106,12 @@ def estimate_local_indices(
     ValueError
         If a query is not an r-clique of the graph.
     """
+    from repro.store.bundle import Bundle  # deferred: store imports core
+
+    if isinstance(graph, Bundle):
+        # local estimation needs the graph topology (the ball is carved out
+        # of the adjacency), not a prebuilt global space
+        graph = graph.graph
     query_list: List[Clique] = []
     for q in queries:
         clique = canonical_clique(tuple(q))

@@ -4,6 +4,23 @@ All algorithms (peeling, SND, AND, query-driven) return a
 :class:`DecompositionResult` so that experiments, tests and user code can
 treat them uniformly: the κ (kappa) indices per r-clique, iteration history,
 operation counters and convergence metadata all live here.
+
+Examples
+--------
+>>> from repro.core.decomposition import core_decomposition
+>>> from repro.graph.generators import ring_of_cliques
+>>> result = core_decomposition(ring_of_cliques(3, 4))
+>>> result.r, result.s, result.algorithm, result.converged
+(1, 2, 'and', True)
+>>> result.max_kappa()
+3
+>>> result.kappa_at(0) == result.kappa_of(result.cliques[0])
+True
+>>> result.kappa_histogram()
+{3: 12}
+
+The result persists (and reopens memmap-backed) through the on-disk store —
+see :func:`repro.store.save_bundle`.
 """
 
 from __future__ import annotations

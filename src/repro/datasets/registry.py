@@ -156,7 +156,7 @@ def dataset_names(include_extras: bool = True) -> List[str]:
 REPRESENTATIONS = ("dict", "csr")
 
 
-def load_dataset(name: str, representation: str = "dict"):
+def load_dataset(name: str, representation: str = "dict", *, cache_dir=None):
     """Build (and memoise) the named dataset.
 
     ``representation`` selects the graph substrate: ``"dict"`` (default)
@@ -165,6 +165,12 @@ def load_dataset(name: str, representation: str = "dict"):
     build and memoised separately, so mixed-representation suites pay each
     conversion at most once per process).  Raises ``KeyError`` with the list
     of valid names for typos.
+
+    ``cache_dir`` (CSR only) is an on-disk cache directory: the first call
+    builds the graph and persists it as a bundle under
+    ``<cache_dir>/<name>``, every later call — in any process — reopens the
+    stored buffers via memmap instead of regenerating.  A cache entry that
+    is not a valid bundle is rebuilt and overwritten.
     """
     if representation not in REPRESENTATIONS:
         raise ValueError(
@@ -175,6 +181,13 @@ def load_dataset(name: str, representation: str = "dict"):
         raise KeyError(
             f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
         )
+    if cache_dir is not None:
+        if representation != "csr":
+            raise ValueError(
+                "cache_dir requires representation='csr': only the "
+                "array-native graph has an on-disk form"
+            )
+        return _load_cached_csr(name, cache_dir)
     if representation == "csr":
         return _load_csr(name)
     return _load_dict(name)
@@ -188,6 +201,20 @@ def _load_dict(name: str) -> Graph:
 @lru_cache(maxsize=None)
 def _load_csr(name: str) -> CSRGraph:
     return CSRGraph.from_graph(_load_dict(name))
+
+
+def _load_cached_csr(name: str, cache_dir) -> CSRGraph:
+    from pathlib import Path
+
+    from repro.store import StoreFormatError, open_bundle, save_bundle
+
+    entry = Path(cache_dir) / name
+    try:
+        return open_bundle(entry).graph
+    except StoreFormatError:
+        pass  # absent or invalid: (re)build below
+    save_bundle(entry, graph=_load_csr(name))
+    return open_bundle(entry).graph
 
 
 def dataset_statistics(name: str, *, max_clique_size: int = 4) -> Dict[str, int]:

@@ -188,6 +188,36 @@ class CSRGraph:
     The id-facing API (``*_ids`` methods, ``indptr``/``indices``) is what
     the vectorised enumeration and the CSR space construction consume; the
     label-facing API mirrors :class:`Graph` for interoperability.
+
+    Parameters
+    ----------
+    indptr : array-like of int64, shape ``(n + 1,)``
+        Row offsets: the neighbour ids of vertex ``i`` are
+        ``indices[indptr[i]:indptr[i + 1]]``, sorted ascending.  Accepts
+        anything ``numpy.ascontiguousarray`` does — including read-only
+        memmaps from an on-disk bundle, which are wrapped without a copy.
+    indices : array-like of int64, shape ``(2m,)``
+        Flattened neighbour lists (each undirected edge appears in both
+        directions).
+    labels : sequence, optional
+        Label table mapping vertex id → original label; must have exactly
+        ``n`` entries.  Omitted means identity labels, kept as a
+        ``range`` so nothing is materialised per vertex.
+
+    Examples
+    --------
+    >>> g = CSRGraph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+    >>> g.number_of_vertices(), g.number_of_edges()
+    (3, 3)
+    >>> list(g.neighbors("b"))
+    ['a', 'c']
+    >>> g.indptr.tolist(), g.indices.tolist()
+    ([0, 2, 4, 6], [1, 2, 0, 2, 0, 1])
+
+    The id arrays feed the vectorised clique enumeration directly:
+
+    >>> g.count_k_cliques(3)
+    1
     """
 
     __slots__ = (

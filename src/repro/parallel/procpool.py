@@ -769,10 +769,15 @@ class PersistentPool:
     binding down and rebinds.  Always release the pool — it is a context
     manager, or call :meth:`close` explicitly:
 
-    >>> with PersistentPool(workers=4) as pool:              # doctest: +SKIP
+    >>> from repro.core.csr import CSRSpace
+    >>> from repro.graph.generators import ring_of_cliques
+    >>> space = CSRSpace.from_graph(ring_of_cliques(3, 4), 1, 2)
+    >>> with PersistentPool(workers=2) as pool:
     ...     first = pool.run_snd(space)    # forks + creates segments
     ...     second = pool.run_and(space)   # reuses both
     ...     capped = pool.run_snd(space, max_iterations=2)
+    >>> first.kappa == second.kappa and pool.forks
+    2
 
     A failed or interrupted job leaves the worker barriers in an unknown
     state, so any error closes the pool; κ parity with the serial kernels is
@@ -782,11 +787,29 @@ class PersistentPool:
     instance rebinds — but a source **mutated in place** between calls is
     not detected; rebuild or re-pass a fresh object after mutating.
 
+    Parameters
+    ----------
+    workers : int, default 4
+        Worker process count (≥ 1).  The r-clique range is partitioned
+        contiguously across them.
+    start_method : str, optional
+        ``multiprocessing`` start method; the platform default when
+        omitted.  ``"fork"`` binds fastest; ``"spawn"`` re-imports but
+        works everywhere.
+    barrier_timeout : float, default 600.0
+        Seconds a worker waits at a round barrier before declaring the
+        pool wedged and failing the job (guards against a crashed peer).
+
     Attributes
     ----------
     forks:
         Total worker processes forked over the pool's lifetime — one batch
         per binding, **not** per call; tests and benchmarks assert on it.
+
+    See Also
+    --------
+    repro.core.decomposition.nucleus_decomposition : the
+        ``parallel="process"`` path constructs and drives one of these.
     """
 
     def __init__(

@@ -1,0 +1,25 @@
+"""On-disk bundle store: versioned .npy buffers + JSON manifest.
+
+See :mod:`repro.store.bundle` for the implementation and ``docs/FORMAT.md``
+for the normative layout spec.
+"""
+
+from repro.store.bundle import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    Bundle,
+    StoreFormatError,
+    open_bundle,
+    save_bundle,
+)
+
+__all__ = [
+    "Bundle",
+    "StoreFormatError",
+    "save_bundle",
+    "open_bundle",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+]

@@ -185,3 +185,62 @@ class TestDecomposeWorkers:
             ["scalability", "--measured", "--workers", "1", "2"]
         )
         assert args.workers == [1, 2]
+
+
+class TestSaveLoad:
+    """``decompose --save`` / ``--load`` round trips through the store."""
+
+    def _saved(self, tmp_path, capsys):
+        path = str(tmp_path / "bundle")
+        assert (
+            main(
+                [
+                    "decompose", "--dataset", "toy", "--r", "1", "--s", "2",
+                    "--algorithm", "peeling", "--save", path,
+                ]
+            )
+            == 0
+        )
+        return path, capsys.readouterr().out
+
+    def test_save_writes_a_bundle(self, tmp_path, capsys):
+        pytest.importorskip("numpy")
+        path, out = self._saved(tmp_path, capsys)
+        assert "saved bundle" in out
+        from repro.store import open_bundle
+
+        bundle = open_bundle(path, verify=True)
+        assert all(bundle.has(c) for c in ("graph", "space", "result", "index"))
+
+    def test_load_reprints_the_same_summary(self, tmp_path, capsys):
+        pytest.importorskip("numpy")
+        path, cold = self._saved(tmp_path, capsys)
+        assert main(["decompose", "--load", path]) == 0
+        warm = capsys.readouterr().out
+        # identical histogram; the warm run only adds the bundle banner
+        cold_hist = cold[cold.index("kappa histogram"):].split("saved bundle")[0]
+        assert cold_hist.strip() in warm
+
+    def test_load_runs_applications_from_the_bundle(self, tmp_path, capsys):
+        pytest.importorskip("numpy")
+        path, _ = self._saved(tmp_path, capsys)
+        assert main(["decompose", "--load", path, "--hierarchy", "--densest"]) == 0
+        out = capsys.readouterr().out
+        assert "nucleus hierarchy" in out
+        assert "densest nucleus" in out
+
+    def test_load_rejects_conflicting_flags(self, tmp_path, capsys):
+        for extra in (
+            ["--save", str(tmp_path / "x")],
+            ["--edge-list", "nope.txt"],
+            ["--parallel", "process"],
+        ):
+            with pytest.raises(SystemExit):
+                main(["decompose", "--load", str(tmp_path / "b")] + extra)
+
+    def test_load_missing_bundle_raises_store_error(self, tmp_path):
+        pytest.importorskip("numpy")
+        from repro.store import StoreFormatError
+
+        with pytest.raises(StoreFormatError):
+            main(["decompose", "--load", str(tmp_path / "absent")])

@@ -1,0 +1,310 @@
+"""Tests for the on-disk bundle store (save_bundle / open_bundle).
+
+Two families: round-trip fidelity (byte-identical κ, identical graph
+buffers, identical hierarchy interval index after save → memmap reopen)
+and format robustness (corrupt / truncated / version-mismatched bundles
+raise :class:`StoreFormatError` with a useful message, never a numpy
+shape error).
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.csr import CSRSpace, resolve_space, resolve_space_for_backend
+from repro.core.decomposition import nucleus_decomposition
+from repro.core.hierarchy import build_hierarchy
+from repro.core.peeling import peeling_decomposition
+from repro.core.query import estimate_local_indices
+from repro.core.space import NucleusSpace
+from repro.datasets.registry import load_dataset
+from repro.graph.csr_graph import CSRGraph
+from repro.graph.generators import powerlaw_cluster_graph, ring_of_cliques
+from repro.store import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    Bundle,
+    StoreFormatError,
+    open_bundle,
+    save_bundle,
+)
+
+np = pytest.importorskip("numpy")
+
+
+@pytest.fixture()
+def saved(tmp_path):
+    """A full bundle (graph + space + result + hierarchy) and its inputs."""
+    graph = CSRGraph.from_graph(powerlaw_cluster_graph(60, 3, 0.5, seed=7))
+    space = CSRSpace.from_graph(graph, 2, 3)
+    result = peeling_decomposition(space)
+    hierarchy = build_hierarchy(space, result)
+    path = save_bundle(
+        tmp_path / "b", graph=graph, space=space, result=result, hierarchy=hierarchy
+    )
+    return path, graph, space, result, hierarchy
+
+
+# ----------------------------------------------------------------------
+# round trips
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_graph_buffers_byte_identical(self, saved):
+        path, graph, *_ = saved
+        reopened = open_bundle(path).graph
+        assert np.array_equal(reopened.indptr, graph.indptr)
+        assert np.array_equal(reopened.indices, graph.indices)
+        assert list(reopened.labels) == list(graph.labels)
+
+    def test_kappa_byte_identical(self, saved):
+        path, _, _, result, _ = saved
+        bundle = open_bundle(path)
+        assert np.array_equal(
+            bundle.kappa, np.asarray(result.kappa, dtype=np.int64)
+        )
+        assert bundle.result.kappa == result.kappa
+        assert bundle.result.algorithm == result.algorithm
+        assert bundle.result.converged == result.converged
+
+    def test_space_cliques_and_incidence_identical(self, saved):
+        path, _, space, result, _ = saved
+        reopened = open_bundle(path).space
+        assert reopened.r == space.r and reopened.s == space.s
+        assert list(reopened.cliques) == list(space.cliques)
+        for name in ("ctx_offsets", "ctx_members", "nbr_offsets", "nbr_members"):
+            assert np.array_equal(
+                np.frombuffer(getattr(space, name), dtype=np.int64),
+                np.asarray(getattr(reopened, name)),
+            )
+        # the memmapped space is a working kernel substrate
+        assert peeling_decomposition(reopened).kappa == result.kappa
+
+    def test_hierarchy_index_identical(self, saved):
+        path, _, _, _, hierarchy = saved
+        assert open_bundle(path).index == hierarchy.interval_index()
+
+    def test_buffers_are_memmapped(self, saved):
+        path, *_ = saved
+        bundle = open_bundle(path)
+        assert isinstance(bundle.kappa, np.memmap)
+        assert not bundle.kappa.flags.writeable
+        indptr = bundle.graph.indptr
+        assert isinstance(indptr, np.memmap) or isinstance(indptr.base, np.memmap)
+
+    def test_verify_passes_on_clean_bundle(self, saved):
+        path, *_ = saved
+        open_bundle(path, verify=True)
+
+    def test_kappa_of_point_lookup(self, saved):
+        path, _, space, result, _ = saved
+        bundle = open_bundle(path)
+        for i in random.Random(5).sample(range(len(space)), 10):
+            clique = space.cliques[i]
+            assert bundle.kappa_of(clique) == result.kappa_of(clique)
+        with pytest.raises(KeyError):
+            bundle.kappa_of((10**6, 10**6 + 1))
+
+    def test_dict_built_space_round_trips(self, tmp_path):
+        graph = ring_of_cliques(5, 4)
+        space = NucleusSpace(graph, 2, 3)
+        result = peeling_decomposition(space)
+        hierarchy = build_hierarchy(space, result)
+        path = save_bundle(
+            tmp_path / "d", graph=graph, space=space, result=result,
+            hierarchy=hierarchy,
+        )
+        bundle = open_bundle(path, verify=True)
+        assert list(bundle.space.cliques) == list(space.cliques)
+        assert bundle.result.kappa == result.kappa
+        assert bundle.index == hierarchy.interval_index()
+
+    def test_string_labels_round_trip(self, tmp_path):
+        graph = CSRGraph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        path = save_bundle(tmp_path / "s", graph=graph)
+        reopened = open_bundle(path).graph
+        assert list(reopened.labels) == ["a", "b", "c"]
+        assert list(reopened.neighbors("b")) == ["a", "c"]
+
+    def test_mixed_labels_round_trip_via_json(self, tmp_path):
+        graph = CSRGraph.from_edges([(0, "x"), ("x", 2.5)])
+        path = save_bundle(tmp_path / "m", graph=graph)
+        assert list(open_bundle(path).graph.labels) == list(graph.labels)
+
+    def test_partial_bundle_result_only(self, tmp_path):
+        space = CSRSpace.from_graph(
+            CSRGraph.from_edges([(0, 1), (1, 2), (0, 2)]), 1, 2
+        )
+        result = peeling_decomposition(space)
+        bundle = open_bundle(save_bundle(tmp_path / "p", result=result))
+        assert bundle.kappa.tolist() == result.kappa
+        with pytest.raises(StoreFormatError, match="no 'space' component"):
+            bundle.space
+
+    def test_save_requires_a_component(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one component"):
+            save_bundle(tmp_path / "e")
+
+    def test_save_rejects_mismatched_instance(self, tmp_path):
+        space = CSRSpace.from_graph(
+            CSRGraph.from_edges([(0, 1), (1, 2), (0, 2)]), 1, 2
+        )
+        other = peeling_decomposition(
+            CSRSpace.from_graph(CSRGraph.from_edges([(0, 1), (1, 2), (0, 2)]), 2, 3)
+        )
+        with pytest.raises(ValueError, match="disagrees"):
+            save_bundle(tmp_path / "x", space=space, result=other)
+
+
+# ----------------------------------------------------------------------
+# format robustness: every corruption is a StoreFormatError
+# ----------------------------------------------------------------------
+class TestFormatErrors:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(StoreFormatError, match="not a bundle"):
+            open_bundle(tmp_path / "nope")
+
+    def test_directory_without_manifest(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(StoreFormatError, match=MANIFEST_NAME):
+            open_bundle(tmp_path / "empty")
+
+    def test_unparsable_manifest(self, saved):
+        path, *_ = saved
+        (path / MANIFEST_NAME).write_text("{not json", encoding="utf-8")
+        with pytest.raises(StoreFormatError, match="unreadable manifest"):
+            open_bundle(path)
+
+    def test_wrong_format_name(self, saved):
+        path, *_ = saved
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest["format"] = "other-thing"
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(StoreFormatError, match="not a 'repro-bundle'"):
+            open_bundle(path)
+
+    def test_version_mismatch(self, saved):
+        path, *_ = saved
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest["version"] = FORMAT_VERSION + 1
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(StoreFormatError, match="unsupported bundle format version"):
+            open_bundle(path)
+
+    def test_missing_buffer_file(self, saved):
+        path, *_ = saved
+        (path / "result.kappa.npy").unlink()
+        with pytest.raises(StoreFormatError, match="missing buffer file"):
+            open_bundle(path).kappa
+
+    def test_truncated_buffer(self, saved):
+        path, *_ = saved
+        file = path / "result.kappa.npy"
+        file.write_bytes(file.read_bytes()[: file.stat().st_size // 2])
+        with pytest.raises(StoreFormatError, match="truncated"):
+            open_bundle(path).kappa
+
+    def test_dtype_mismatch(self, saved):
+        path, *_ = saved
+        kappa = np.load(path / "result.kappa.npy")
+        np.save(path / "result.kappa.npy", kappa.astype(np.int32))
+        # int32 halves the payload, so either check may fire first — both
+        # must surface as StoreFormatError, not a numpy reshape error
+        with pytest.raises(StoreFormatError, match="truncated|disagrees"):
+            open_bundle(path).kappa
+
+    def test_shape_mismatch(self, saved):
+        path, *_ = saved
+        kappa = np.load(path / "result.kappa.npy")
+        np.save(path / "result.kappa.npy", np.append(kappa, [0, 0]))
+        with pytest.raises(StoreFormatError, match="disagrees with the manifest"):
+            open_bundle(path).kappa
+
+    def test_bitflip_caught_by_verify(self, saved):
+        path, *_ = saved
+        file = path / "result.kappa.npy"
+        raw = bytearray(file.read_bytes())
+        raw[-1] ^= 0xFF
+        file.write_bytes(bytes(raw))
+        open_bundle(path)  # lazy open never reads the payload
+        with pytest.raises(StoreFormatError, match="checksum mismatch"):
+            open_bundle(path, verify=True)
+
+    def test_unknown_buffer_requested(self, saved):
+        path, *_ = saved
+        with pytest.raises(StoreFormatError, match="lacks buffer"):
+            open_bundle(path).load_array("no.such.buffer")
+
+
+# ----------------------------------------------------------------------
+# wiring: resolvers, decomposition entry point, query layer, dataset cache
+# ----------------------------------------------------------------------
+class TestWiring:
+    def test_resolve_space_uses_stored_space(self, saved):
+        path, *_ = saved
+        bundle = open_bundle(path)
+        assert resolve_space(bundle, 2, 3) is bundle.space
+        assert resolve_space(bundle, None, None) is bundle.space
+
+    def test_resolve_space_falls_back_to_graph(self, saved):
+        path, _, space, *_ = saved
+        other = resolve_space(open_bundle(path), 1, 2)
+        assert isinstance(other, CSRSpace)
+        assert (other.r, other.s) == (1, 2)
+
+    def test_resolve_for_dict_backend_takes_graph(self, saved):
+        path, *_ = saved
+        space, backend = resolve_space_for_backend(open_bundle(path), 2, 3, "dict")
+        assert backend == "dict"
+        assert isinstance(space, NucleusSpace)
+
+    def test_nucleus_decomposition_accepts_bundle(self, saved):
+        path, _, _, result, _ = saved
+        rerun = nucleus_decomposition(open_bundle(path), 2, 3, algorithm="peeling")
+        assert rerun.kappa == result.kappa
+
+    def test_query_layer_accepts_bundle(self, saved):
+        path, graph, *_ = saved
+        bundle = open_bundle(path)
+        edge = (int(graph.indices[0]), 0)
+        est = estimate_local_indices(bundle, [edge], 2, 3, hops=1)
+        ref = estimate_local_indices(graph, [edge], 2, 3, hops=1)
+        assert dict(est) == dict(ref)
+
+    def test_bundle_without_usable_component_raises(self, tmp_path):
+        result = peeling_decomposition(
+            CSRSpace.from_graph(CSRGraph.from_edges([(0, 1)]), 1, 2)
+        )
+        bundle = open_bundle(save_bundle(tmp_path / "r", result=result))
+        with pytest.raises(ValueError, match="neither a space nor a graph"):
+            resolve_space(bundle, 1, 2)
+
+    def test_load_dataset_cache_dir(self, tmp_path):
+        fresh = load_dataset("fb", "csr")
+        cached = load_dataset("fb", "csr", cache_dir=tmp_path / "cache")
+        again = load_dataset("fb", "csr", cache_dir=tmp_path / "cache")
+        for g in (cached, again):
+            assert np.array_equal(g.indptr, fresh.indptr)
+            assert np.array_equal(g.indices, fresh.indices)
+        # the warm copy reads straight off the bundle memmap
+        assert isinstance(again.indptr, np.memmap) or isinstance(
+            again.indptr.base, np.memmap
+        )
+
+    def test_load_dataset_cache_dir_requires_csr(self, tmp_path):
+        with pytest.raises(ValueError, match="cache_dir requires"):
+            load_dataset("fb", "dict", cache_dir=tmp_path)
+
+    def test_load_dataset_rebuilds_invalid_cache_entry(self, tmp_path):
+        entry = tmp_path / "cache" / "fb"
+        entry.mkdir(parents=True)
+        (entry / MANIFEST_NAME).write_text("garbage")
+        graph = load_dataset("fb", "csr", cache_dir=tmp_path / "cache")
+        assert np.array_equal(graph.indptr, load_dataset("fb", "csr").indptr)
+
+    def test_bundle_repr_and_summary(self, saved):
+        path, *_ = saved
+        bundle = open_bundle(path)
+        assert isinstance(bundle, Bundle)
+        assert "(2,3)" in bundle.summary()
+        assert bundle.has("graph") and not bundle.has("nonsense")
