@@ -1,0 +1,123 @@
+"""Resilience overhead and recovery-latency benchmarks.
+
+Quantifies what the supervision layer costs and how fast it heals, on the
+same clustered power-law bench graph family as ``bench_procpool.py``:
+
+* **supervision overhead** — a healthy ``SupervisedPool`` job vs a bare
+  ``PersistentPool`` job on the same space.  The supervisor adds one space
+  conversion check, one dict merge and the (startup-only) segment reap, so
+  the per-job overhead must stay small;
+* **recovery latency** — wall-clock from dispatching a job that loses a
+  worker at round 0 to the retried job's completion (rebuild + rerun);
+* **fallback overhead** — the serial-fallback path (retry budget zero, every
+  attempt sabotaged) vs a direct serial CSR kernel call: the degraded path
+  must cost about one failed parallel attempt plus the serial run.
+
+κ parity is asserted in every scenario — recovery that changes the answer
+is not recovery.
+
+Recording convention: multi-process wall-clock goes into the artifact under
+``*_seconds`` names (exempt from the CI trend gate, like the other pool
+benchmarks — worker scheduling on shared runners is too noisy to gate);
+the serial-ratio measurement uses the gated ``*_s`` suffix only for the
+single-process serial kernel baseline it is normalised by.
+"""
+
+import time
+
+import pytest
+
+from repro.core.csr import CSRSpace, and_decomposition_csr
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.parallel.procpool import PersistentPool
+from repro.resilience import faults
+from repro.resilience.supervisor import ResiliencePolicy, SupervisedPool
+
+FULL_N, SMOKE_N = 1200, 300
+M, P, SEED = 8, 0.7, 11
+WORKERS = 3
+
+
+@pytest.fixture(scope="module")
+def bench_space(request):
+    smoke = request.getfixturevalue("smoke_mode")
+    n = SMOKE_N if smoke else FULL_N
+    graph = powerlaw_cluster_graph(n, M, P, seed=SEED)
+    return CSRSpace.from_graph(graph, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def serial_reference(bench_space):
+    t0 = time.perf_counter()
+    result = and_decomposition_csr(bench_space)
+    return time.perf_counter() - t0, result.kappa
+
+
+def test_supervision_overhead(bench_space, serial_reference, bench_record):
+    """A healthy supervised job must cost about what a bare pool job does."""
+    _, serial_kappa = serial_reference
+    with PersistentPool(WORKERS) as bare:
+        bare.run_and(bench_space)  # bind + warm
+        t0 = time.perf_counter()
+        bare_result = bare.run_and(bench_space)
+        bare_seconds = time.perf_counter() - t0
+    policy = ResiliencePolicy(reap_on_start=False, install_handlers=False)
+    with SupervisedPool(WORKERS, policy=policy) as pool:
+        pool.run_and(bench_space)
+        t0 = time.perf_counter()
+        supervised = pool.run_and(bench_space)
+        supervised_seconds = time.perf_counter() - t0
+    assert supervised.kappa == bare_result.kappa == serial_kappa
+    bench_record(
+        name="resilience_supervision_overhead",
+        bare_pool_seconds=round(bare_seconds, 4),
+        supervised_seconds=round(supervised_seconds, 4),
+        overhead_ratio=round(supervised_seconds / max(bare_seconds, 1e-9), 3),
+    )
+
+
+def test_recovery_latency(bench_space, serial_reference, bench_record):
+    """Crash one worker at round 0; measure fault-to-recovered-answer time."""
+    _, serial_kappa = serial_reference
+    policy = ResiliencePolicy(
+        backoff_base=0.01, backoff_cap=0.05,
+        reap_on_start=False, install_handlers=False,
+    )
+    plan = {"faults": [{"kind": "crash", "worker": 0, "round": 0,
+                        "mode": "hard-exit"}]}
+    with SupervisedPool(WORKERS, policy=policy) as pool:
+        pool.run_and(bench_space)  # warm pool; the fault hits the next job
+        with faults.fault_plan(plan):
+            t0 = time.perf_counter()
+            result = pool.run_and(bench_space)
+            recovery_seconds = time.perf_counter() - t0
+    assert result.kappa == serial_kappa
+    assert result.operations["resilience"]["retries"] == 1
+    bench_record(
+        name="resilience_recovery_latency",
+        recovery_seconds=round(recovery_seconds, 4),
+        rebuilds=result.operations["resilience"]["rebuilds"],
+    )
+
+
+def test_fallback_overhead(bench_space, serial_reference, bench_record):
+    """Serial fallback ~= one sabotaged attempt + the serial kernel."""
+    serial_s, serial_kappa = serial_reference
+    policy = ResiliencePolicy(
+        max_retries=0, backoff_base=0.01,
+        reap_on_start=False, install_handlers=False,
+    )
+    plan = {"faults": [{"kind": "crash-entry", "worker": 0, "times": -1}]}
+    with faults.fault_plan(plan):
+        with SupervisedPool(WORKERS, policy=policy) as pool:
+            t0 = time.perf_counter()
+            result = pool.run_and(bench_space)
+            fallback_seconds = time.perf_counter() - t0
+    assert result.kappa == serial_kappa
+    assert result.operations["resilience"]["fallback"]
+    bench_record(
+        name="resilience_fallback_overhead",
+        serial_kernel_s=round(serial_s, 4),
+        fallback_seconds=round(fallback_seconds, 4),
+        degradation_ratio=round(fallback_seconds / max(serial_s, 1e-9), 3),
+    )

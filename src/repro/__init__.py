@@ -16,7 +16,7 @@ Quickstart
 True
 """
 
-from repro import core, datasets, graph, parallel, store
+from repro import core, datasets, graph, parallel, resilience, store
 from repro.core import (
     CSRSpace,
     DecompositionResult,
@@ -63,6 +63,7 @@ __all__ = [
     "graph",
     "datasets",
     "parallel",
+    "resilience",
     "store",
     "__version__",
 ]

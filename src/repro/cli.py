@@ -165,6 +165,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker count for --parallel (default 4); requires --parallel",
     )
     dec.add_argument(
+        "--resilient",
+        action="store_true",
+        help="run --parallel process under the supervised pool: per-job "
+        "deadlines, bounded retries with pool rebuild, serial fallback "
+        "(same kappa), orphaned shared-memory reaping; prints the "
+        "resilience event counters (see docs/RESILIENCE.md)",
+    )
+    dec.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job deadline for --resilient (default: none)",
+    )
+    dec.add_argument(
         "--hierarchy",
         action="store_true",
         help="also build and print the nucleus hierarchy from the in-memory "
@@ -205,6 +220,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         # a silently discarded worker count looks like a slow parallel run;
         # fail loudly instead
         parser.error("--workers requires --parallel {thread,process}")
+    if args.command == "decompose" and args.parallel != "process":
+        if args.resilient:
+            parser.error("--resilient requires --parallel process")
+        if args.job_timeout is not None:
+            parser.error("--job-timeout requires --resilient")
+    if (
+        args.command == "decompose"
+        and args.job_timeout is not None
+        and not args.resilient
+    ):
+        parser.error("--job-timeout requires --resilient")
     if args.command == "decompose" and args.load is not None:
         if args.save is not None:
             parser.error("--load and --save are mutually exclusive")
@@ -316,6 +342,13 @@ def _run_decompose(args: argparse.Namespace) -> None:
         )
         space, _ = resolve_space_for_backend(graph, args.r, args.s, backend)
         source = space
+    resilience = None
+    if args.resilient:
+        resilience = (
+            {"job_timeout": args.job_timeout}
+            if args.job_timeout is not None
+            else True
+        )
     result = nucleus_decomposition(
         source,
         args.r,
@@ -324,8 +357,18 @@ def _run_decompose(args: argparse.Namespace) -> None:
         backend=args.backend,
         parallel=args.parallel,
         workers=args.workers,
+        resilience=resilience,
     )
     print(result.summary())
+    events = result.operations.get("resilience")
+    if events is not None:
+        print(
+            "resilience: attempts={attempts} retries={retries} "
+            "rebuilds={rebuilds} fallbacks={fallbacks} "
+            "reaped_segments={reaped_segments} fallback={fallback}".format(
+                **events
+            )
+        )
     histogram_rows = [
         {"kappa": k, "r_cliques": count}
         for k, count in result.kappa_histogram().items()

@@ -54,6 +54,7 @@ def nucleus_decomposition(
     backend: str = "auto",
     parallel: Optional[str] = None,
     workers: Optional[int] = None,
+    resilience=None,
     **options,
 ) -> DecompositionResult:
     """Compute the (r, s) nucleus decomposition with the chosen algorithm.
@@ -90,6 +91,14 @@ def nucleus_decomposition(
     workers:
         Worker count for the parallel modes (default 4); requires
         ``parallel``.
+    resilience:
+        Supervision for ``parallel="process"``: ``True`` (default policy), a
+        :class:`~repro.resilience.supervisor.ResiliencePolicy`, or a dict of
+        its fields.  The job then runs under a
+        :class:`~repro.resilience.supervisor.SupervisedPool` — per-job
+        deadline, bounded retries with pool rebuild, serial-kernel fallback
+        — and the result carries ``operations["resilience"]`` event
+        counters.  κ is unchanged in every recovery path.
     options:
         Forwarded to the selected algorithm (e.g. ``max_iterations``,
         ``record_history``, ``order``, ``notification``).
@@ -134,10 +143,13 @@ def nucleus_decomposition(
 
     if parallel is not None:
         return _parallel_dispatch(
-            source, r, s, algorithm, backend, parallel, workers, options
+            source, r, s, algorithm, backend, parallel, workers, resilience,
+            options,
         )
     if workers is not None:
         raise ValueError("workers= requires parallel='thread' or 'process'")
+    if resilience not in (None, False):
+        raise ValueError("resilience= requires parallel='process'")
 
     if algorithm == "peeling":
         if options:
@@ -158,6 +170,7 @@ def _parallel_dispatch(
     backend: str,
     parallel: str,
     workers: Optional[int],
+    resilience,
     options: Dict[str, object],
 ) -> DecompositionResult:
     """Route ``parallel=`` requests to the thread or process runners."""
@@ -167,6 +180,8 @@ def _parallel_dispatch(
         )
     workers = 4 if workers is None else workers
     if parallel == "thread":
+        if resilience not in (None, False):
+            raise ValueError("resilience= requires parallel='process'")
         if algorithm != "snd":
             raise ValueError(
                 "parallel='thread' supports algorithm='snd' only "
@@ -196,6 +211,16 @@ def _parallel_dispatch(
             f"parallel='process' with algorithm={algorithm!r} supports the "
             f"{sorted(allowed)} options only, got {unsupported}"
         )
+    policy = None
+    if resilience is not None:
+        from repro.resilience.supervisor import SupervisedPool, coerce_policy
+
+        policy = coerce_policy(resilience)
+    if policy is not None:
+        with SupervisedPool(workers=workers, policy=policy) as pool:
+            runner = pool.run_snd if algorithm == "snd" else pool.run_and
+            return runner(source, r, s, **options)
+
     from repro.parallel.procpool import (
         process_and_decomposition,
         process_snd_decomposition,

@@ -169,8 +169,10 @@ def load_dataset(name: str, representation: str = "dict", *, cache_dir=None):
     ``cache_dir`` (CSR only) is an on-disk cache directory: the first call
     builds the graph and persists it as a bundle under
     ``<cache_dir>/<name>``, every later call — in any process — reopens the
-    stored buffers via memmap instead of regenerating.  A cache entry that
-    is not a valid bundle is rebuilt and overwritten.
+    stored buffers via memmap instead of regenerating.  Warm opens verify
+    buffer checksums; a cache entry that is missing, invalid or corrupt is
+    quarantined (renamed to ``<name>.corrupt-<n>``), logged, counted in
+    :data:`CACHE_EVENTS`, and rebuilt from source.
     """
     if representation not in REPRESENTATIONS:
         raise ValueError(
@@ -203,16 +205,43 @@ def _load_csr(name: str) -> CSRGraph:
     return CSRGraph.from_graph(_load_dict(name))
 
 
+#: Observable cache-health counters (process-wide): ``quarantined`` counts
+#: corrupt on-disk bundles moved aside and rebuilt from source.
+CACHE_EVENTS: Dict[str, int] = {"quarantined": 0}
+
+
+def _quarantine_bundle(entry):
+    """Move a corrupt bundle directory aside as ``<name>.corrupt-<n>``."""
+    n = 0
+    while True:
+        candidate = entry.with_name(f"{entry.name}.corrupt-{n}")
+        if not candidate.exists():
+            break
+        n += 1
+    entry.rename(candidate)
+    return candidate
+
+
 def _load_cached_csr(name: str, cache_dir) -> CSRGraph:
+    import logging
     from pathlib import Path
 
     from repro.store import StoreFormatError, open_bundle, save_bundle
 
     entry = Path(cache_dir) / name
-    try:
-        return open_bundle(entry).graph
-    except StoreFormatError:
-        pass  # absent or invalid: (re)build below
+    if entry.exists():
+        try:
+            # warm path: verify CRCs so silent on-disk corruption surfaces
+            # here, as StoreFormatError, not as wrong κ downstream
+            return open_bundle(entry, verify=True).graph
+        except StoreFormatError as exc:
+            quarantined = _quarantine_bundle(entry)
+            CACHE_EVENTS["quarantined"] += 1
+            logging.getLogger(__name__).warning(
+                "dataset cache %s is corrupt (%s); quarantined as %s, "
+                "rebuilding from source",
+                entry, exc, quarantined.name,
+            )
     save_bundle(entry, graph=_load_csr(name))
     return open_bundle(entry).graph
 

@@ -49,6 +49,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import secrets
+import signal
 import sys
 import threading
 import time
@@ -62,6 +63,12 @@ from repro.core.hindex import h_index
 from repro.core.result import DecompositionResult
 from repro.core.space import NucleusSpace
 from repro.graph.graph import Graph
+from repro.resilience.errors import (
+    JobTimeoutError,
+    PoolPoisonedError,
+    WorkerCrashError,
+)
+from repro.resilience.faults import get_active as _active_faults
 
 try:  # numpy accelerates the worker sweeps; every path has a fallback
     import numpy as _np
@@ -84,12 +91,80 @@ _META_CONVERGED = 1
 _META_UPDATES = 2
 _META_SLOTS = 3
 
-# test seam: set to an exception instance to make worker 0 fail on entry, or
-# to the string "hard-exit" to make it die without any cleanup (os._exit, as
-# an OOM kill would).  Propagates into fork-started children, letting the
-# lifecycle tests drive the failure paths without patching multiprocessing
-# internals.
-_TEST_WORKER_FAULT = None
+# how long a shutdown waits on a worker before escalating: graceful join ->
+# terminate (SIGTERM) -> kill (SIGKILL).  A wedged worker can therefore
+# never hang interpreter shutdown for more than a few grace periods.
+_SHUTDOWN_GRACE = 5.0
+
+
+def _stop_processes(procs: List, *, graceful_join: float = 0.0) -> None:
+    """Stop worker processes with bounded escalation; never blocks forever.
+
+    ``graceful_join`` first waits that long for a voluntary exit (used after
+    a shutdown command was sent); survivors get ``terminate()`` (SIGTERM), a
+    bounded join, then ``kill()`` (SIGKILL) and one final bounded join — so
+    a worker wedged in uninterruptible state cannot hang interpreter
+    shutdown, it is simply abandoned after the last grace period.
+    """
+    if graceful_join > 0:
+        for p in procs:
+            p.join(timeout=graceful_join)
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+    for p in procs:
+        p.join(timeout=_SHUTDOWN_GRACE)
+        if p.is_alive():
+            p.kill()
+            p.join(timeout=_SHUTDOWN_GRACE)
+
+
+def _reset_inherited_signals() -> None:
+    """Restore the default SIGTERM disposition in a freshly forked worker.
+
+    A fork copies the parent's signal table; if a supervisor had installed
+    a cleanup handler there, an inherited copy would make ``terminate()``
+    run supervisor code inside the worker instead of killing it, stretching
+    every pool teardown into the SIGKILL escalation path.
+    """
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+
+
+def _fire_fault(directive: dict) -> None:
+    """Execute one injected crash directive inside a worker process."""
+    mode = directive.get("mode", "raise")
+    if mode == "hard-exit":
+        os._exit(9)  # no cleanup at all, like an OOM kill
+    if mode == "interrupt":
+        raise KeyboardInterrupt("injected worker fault")
+    raise RuntimeError(f"injected worker fault: {directive.get('kind')}")
+
+
+def _fire_entry_faults(spec: dict) -> None:
+    """Run any injected crash-on-entry directives carried by a worker spec.
+
+    Directives are computed parent-side by the active
+    :class:`repro.resilience.faults.FaultInjector` and travel inside the
+    pickled spec, so injection works under any start method.
+    """
+    for directive in spec.get("faults") or ():
+        if directive.get("kind") == "crash-entry":
+            _fire_fault(directive)
+
+
+def _fire_round_faults(job: dict, round_no: int) -> None:
+    """Run injected crash/stall directives scheduled for sweep round ``round_no``."""
+    for directive in job.get("faults") or ():
+        if directive.get("round") != round_no:
+            continue
+        kind = directive.get("kind")
+        if kind == "stall":
+            time.sleep(float(directive.get("seconds", 30.0)))
+        elif kind == "crash":
+            _fire_fault(directive)
 
 
 class SharedCSRBuffers:
@@ -337,6 +412,7 @@ def _snd_job(views: dict, spec: dict, job: dict, barrier) -> None:
     while True:
         if max_rounds is not None and rounds >= max_rounds:
             break
+        _fire_round_faults(job, rounds)
         prev, nxt = tau_views[cur], tau_views[1 - cur]
         if use_numpy:
             updated = sweep(prev, nxt)
@@ -457,6 +533,7 @@ def _and_job(views: dict, spec: dict, job: dict, barrier) -> None:
     while True:
         if max_rounds is not None and rounds >= max_rounds:
             break
+        _fire_round_faults(job, rounds)
         if use_active and not full_sweep:
             # sparse active round: skip the O(n) snapshot copy and read the
             # shared view directly — any published value is valid (τ only
@@ -513,18 +590,17 @@ def _and_job(views: dict, spec: dict, job: dict, barrier) -> None:
 
 def _worker_main(spec: dict, barrier, errq) -> None:
     """Entry point of one one-shot worker process (SND or AND)."""
+    _reset_inherited_signals()
     attached: List[shared_memory.SharedMemory] = []
     views: Optional[dict] = None
     try:
-        if _TEST_WORKER_FAULT is not None and spec["wid"] == 0:
-            if _TEST_WORKER_FAULT == "hard-exit":
-                os._exit(9)
-            raise _TEST_WORKER_FAULT
+        _fire_entry_faults(spec)
         views = _attach_views(spec, attached)
         job = {
             "kind": spec["kind"],
             "max_iterations": spec["max_iterations"],
             "notification": spec.get("notification", True),
+            "faults": spec.get("faults"),
         }
         _run_job(views, spec, job, barrier)
     except threading.BrokenBarrierError:
@@ -538,21 +614,29 @@ def _worker_main(spec: dict, barrier, errq) -> None:
         _close_attached(attached, views)
 
 
-def _persistent_worker_main(spec: dict, barrier, conn, doneq, errq) -> None:
+def _persistent_worker_main(
+    spec: dict, barrier, conn, doneq, errq, inherited=()
+) -> None:
     """Job loop of one persistent worker: attach once, sweep many jobs.
 
     Jobs arrive over ``conn`` (one dict per decomposition call, ``None`` to
     shut down); each finished job is acknowledged on ``doneq`` together with
     its generation number so the parent never mistakes a stale message for
     the current job's completion.
+
+    ``inherited`` holds the parent-side pipe ends this worker's fork copied
+    (earlier workers' and its own).  They must be closed here: as long as
+    any process holds a copy of the parent end, the parent closing *its*
+    copy can never deliver EOF to ``conn.recv()``, and a worker whose pipe
+    the parent dropped would block forever instead of exiting.
     """
+    _reset_inherited_signals()
     attached: List[shared_memory.SharedMemory] = []
     views: Optional[dict] = None
     try:
-        if _TEST_WORKER_FAULT is not None and spec["wid"] == 0:
-            if _TEST_WORKER_FAULT == "hard-exit":
-                os._exit(9)
-            raise _TEST_WORKER_FAULT
+        for stale in inherited:
+            stale.close()
+        _fire_entry_faults(spec)
         views = _attach_views(spec, attached)
         while True:
             try:
@@ -671,6 +755,7 @@ class ProcessPoolBackend:
             barrier = self._ctx.Barrier(num_workers)
             errq = self._ctx.SimpleQueue()
             names = dict(arena.names)
+            injector = _active_faults()
             for wid, bounds in enumerate(ranges):
                 spec = {
                     "kind": kind,
@@ -683,6 +768,12 @@ class ProcessPoolBackend:
                     "notification": notification,
                     "barrier_timeout": self.barrier_timeout,
                 }
+                if injector is not None:
+                    directives = injector.entry_faults(wid)
+                    round_faults, _ = injector.dispatch_faults(wid, pipe=False)
+                    directives += round_faults
+                    if directives:
+                        spec["faults"] = directives
                 proc = self._ctx.Process(
                     target=_worker_main, args=(spec, barrier, errq), daemon=True
                 )
@@ -692,23 +783,21 @@ class ProcessPoolBackend:
             self._wait(procs)
             if not errq.empty():
                 wid, tb = errq.get()
-                raise RuntimeError(
-                    f"process-pool worker {wid} failed:\n{tb}"
+                raise WorkerCrashError(
+                    f"process-pool worker {wid} failed:\n{tb}", worker=wid
                 )
             bad = [p.exitcode for p in procs if p.exitcode != 0]
             if bad:
-                raise RuntimeError(
-                    f"process-pool workers died with exit codes {bad}"
+                raise WorkerCrashError(
+                    f"process-pool workers died with exit codes {bad}",
+                    exit_codes=bad,
                 )
 
             rounds, converged, updates_total, processed, kappa = _extract_result(
                 arena, kind, n, num_workers
             )
         finally:
-            for p in procs:
-                if p.is_alive():
-                    p.terminate()
-                p.join()
+            _stop_processes(procs)
             arena.destroy()
 
         operations = {
@@ -799,6 +888,14 @@ class PersistentPool:
     barrier_timeout : float, default 600.0
         Seconds a worker waits at a round barrier before declaring the
         pool wedged and failing the job (guards against a crashed peer).
+    job_timeout : float, optional
+        Parent-side per-job deadline in seconds: a job that has not
+        completed within it raises
+        :class:`~repro.resilience.errors.JobTimeoutError` and poisons the
+        pool.  ``None`` (default) waits indefinitely (the barrier timeout
+        remains the worker-side safety net).
+        :class:`~repro.resilience.supervisor.SupervisedPool` sets this from
+        its policy.
 
     Attributes
     ----------
@@ -818,6 +915,7 @@ class PersistentPool:
         *,
         start_method: Optional[str] = None,
         barrier_timeout: float = 600.0,
+        job_timeout: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -825,6 +923,7 @@ class PersistentPool:
             start_method = "fork"
         self.workers = workers
         self.barrier_timeout = barrier_timeout
+        self.job_timeout = job_timeout
         self.forks = 0
         self._ctx = mp.get_context(start_method)
         self._closed = False
@@ -895,7 +994,10 @@ class PersistentPool:
         notification: bool,
     ) -> DecompositionResult:
         if self._closed:
-            raise RuntimeError("PersistentPool is closed")
+            raise PoolPoisonedError(
+                "PersistentPool is closed (shut down or poisoned by a "
+                "failed job); build a new pool to continue"
+            )
         if (
             source is self._source
             and (r, s) == self._source_rs
@@ -926,9 +1028,20 @@ class PersistentPool:
                 "notification": notification,
                 "gen": self._generation,
             }
-            for conn in self._conns:
+            injector = _active_faults()
+            for wid, conn in enumerate(self._conns):
+                wjob = job
+                if injector is not None:
+                    directives, drop_pipe = injector.dispatch_faults(wid)
+                    if drop_pipe:
+                        # injected pipe EOF: the worker sees end-of-file and
+                        # exits silently; _collect must notice the vanishing
+                        conn.close()
+                        continue
+                    if directives:
+                        wjob = dict(job, faults=directives)
                 try:
-                    conn.send(job)
+                    conn.send(wjob)
                 except (BrokenPipeError, OSError):
                     # the worker died before the job could even be sent;
                     # _collect reports the death with its exit code
@@ -995,6 +1108,7 @@ class PersistentPool:
             self._doneq = self._ctx.SimpleQueue()
             self._errq = self._ctx.SimpleQueue()
             names = dict(self._arena.names)
+            injector = _active_faults()
             for wid, bounds in enumerate(ranges):
                 spec = {
                     "names": names,
@@ -1004,16 +1118,32 @@ class PersistentPool:
                     "wid": wid,
                     "barrier_timeout": self.barrier_timeout,
                 }
+                if injector is not None:
+                    entry = injector.entry_faults(wid)
+                    if entry:
+                        spec["faults"] = entry
                 parent_conn, child_conn = self._ctx.Pipe()
+                self._conns.append(parent_conn)
+                # under fork the child's fd table copies every parent-side
+                # pipe end created so far; hand them over for closing so a
+                # parent-side close can actually deliver EOF (under spawn
+                # nothing is inherited and there is nothing to close)
+                stale = (
+                    list(self._conns)
+                    if self._ctx.get_start_method() == "fork"
+                    else []
+                )
                 proc = self._ctx.Process(
                     target=_persistent_worker_main,
-                    args=(spec, barrier, child_conn, self._doneq, self._errq),
+                    args=(
+                        spec, barrier, child_conn, self._doneq, self._errq,
+                        stale,
+                    ),
                     daemon=True,
                 )
                 proc.start()
                 child_conn.close()
                 self._procs.append(proc)
-                self._conns.append(parent_conn)
         except BaseException:
             self._teardown(graceful=False)
             raise
@@ -1037,7 +1167,20 @@ class PersistentPool:
         arena.get("active").buf[:n] = b"\x01" * n
 
     def _collect(self, generation: int) -> None:
-        """Wait for every worker's done message, failing fast on any death."""
+        """Wait for every worker's done message, failing fast on any death.
+
+        Three abnormal endings, in detection order: a worker that raised
+        (traceback on the error queue), a worker that *died* — any exit
+        while a job is outstanding is abnormal, **including exit code 0**
+        (a worker that lost its job pipe unwinds cleanly without answering)
+        — and, when :attr:`job_timeout` is set, a missed parent-side
+        deadline (stalled worker, wedged barrier).
+        """
+        deadline = (
+            None
+            if self.job_timeout is None
+            else time.monotonic() + self.job_timeout
+        )
         done = 0
         while done < self._num_workers:
             while not self._doneq.empty():
@@ -1048,21 +1191,32 @@ class PersistentPool:
                 return
             if not self._errq.empty():
                 wid, tb = self._errq.get()
-                raise RuntimeError(f"persistent-pool worker {wid} failed:\n{tb}")
-            dead = [p.exitcode for p in self._procs if p.exitcode not in (None, 0)]
+                raise WorkerCrashError(
+                    f"persistent-pool worker {wid} failed:\n{tb}", worker=wid
+                )
+            dead = [p.exitcode for p in self._procs if p.exitcode is not None]
             if dead:
                 # give a raising worker a moment to land its traceback — the
                 # exit code can become visible before the queue message
-                deadline = time.monotonic() + 1.0
-                while time.monotonic() < deadline and self._errq.empty():
+                grace = time.monotonic() + 1.0
+                while time.monotonic() < grace and self._errq.empty():
                     time.sleep(0.01)
                 if not self._errq.empty():
                     wid, tb = self._errq.get()
-                    raise RuntimeError(
-                        f"persistent-pool worker {wid} failed:\n{tb}"
+                    raise WorkerCrashError(
+                        f"persistent-pool worker {wid} failed:\n{tb}",
+                        worker=wid,
                     )
-                raise RuntimeError(
-                    f"persistent-pool workers died with exit codes {dead}"
+                raise WorkerCrashError(
+                    f"persistent-pool workers died with exit codes {dead} "
+                    "while a job was outstanding",
+                    exit_codes=dead,
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                raise JobTimeoutError(
+                    f"pool job missed its {self.job_timeout:.3g}s deadline "
+                    f"({done}/{self._num_workers} workers finished)",
+                    timeout=self.job_timeout,
                 )
             time.sleep(0.002)
 
@@ -1085,14 +1239,9 @@ class PersistentPool:
                 conn.close()
             except OSError:
                 pass
-        if graceful:
-            for p in procs:
-                p.join(timeout=5.0)
-        for p in procs:
-            if p.is_alive():
-                p.terminate()
-        for p in procs:
-            p.join()
+        _stop_processes(
+            procs, graceful_join=_SHUTDOWN_GRACE if graceful else 0.0
+        )
         if arena is not None:
             arena.destroy()
 

@@ -49,6 +49,8 @@ from repro.core.result import DecompositionResult
 from repro.core.space import NucleusSpace, _binomial
 from repro.graph.csr_graph import CliqueArrayView, CSRGraph
 from repro.graph.graph import Graph, sorted_vertices
+from repro.resilience.errors import StoreFormatError
+from repro.resilience.faults import get_active as _active_faults
 
 try:  # numpy is an optional extra; the store cannot operate without it
     import numpy as _np
@@ -90,15 +92,9 @@ SPACE_BUFFERS = (
 RESULT_BUFFERS = ("result.kappa",)
 
 
-class StoreFormatError(RuntimeError):
-    """A bundle on disk violates the format: missing/corrupt/mismatched.
-
-    Raised for unreadable or schema-violating manifests, unknown format
-    versions, missing or truncated buffer files, dtype/shape disagreements
-    and (under ``verify=True``) checksum mismatches — always with a message
-    naming the offending file, instead of a numpy error surfacing from the
-    middle of an open.
-    """
+# StoreFormatError lives in repro.resilience.errors now (re-parented under
+# the taxonomy so supervisors can classify it as fatal); it stays importable
+# from here, where it is raised and callers have always found it.
 
 
 def _require_numpy() -> None:
@@ -331,6 +327,13 @@ def save_bundle(
         json.dump(manifest, fh, indent=2, sort_keys=True)
         fh.write("\n")
     os.replace(tmp, target / MANIFEST_NAME)
+
+    # fault-injection hook: an active plan with "corrupt" specs flips bytes
+    # in the buffer files just written, so a later verified open fails its
+    # CRC and the cache's quarantine-and-rebuild path is exercised for real
+    injector = _active_faults()
+    if injector is not None:
+        injector.corrupt_bundle(target)
     return target
 
 

@@ -29,6 +29,8 @@ DOCTEST_MODULES = [
     "repro.graph.csr_graph",
     "repro.store.bundle",
     "repro.parallel.procpool",
+    "repro.resilience.faults",
+    "repro.resilience.supervisor",
 ]
 
 NUMPY_ONLY = {
@@ -37,6 +39,7 @@ NUMPY_ONLY = {
     "repro.graph.csr_graph",
     "repro.store.bundle",
     "repro.parallel.procpool",
+    "repro.resilience.supervisor",
 }
 
 MARKDOWN_FILES = sorted(

@@ -34,6 +34,7 @@ from repro.parallel.procpool import (
     process_and_decomposition,
     process_snd_decomposition,
 )
+from repro.resilience import faults
 
 HAVE_FORK = "fork" in mp.get_all_start_methods()
 
@@ -298,30 +299,27 @@ class TestPersistentPool:
             assert_all_unlinked(first_segments)
         assert_all_unlinked(captured_segments)
 
-    @pytest.mark.skipif(not HAVE_FORK, reason="fault injection needs fork")
     def test_worker_fault_closes_pool(
-        self, small_powerlaw_graph, captured_segments, monkeypatch
+        self, small_powerlaw_graph, captured_segments
     ):
-        monkeypatch.setattr(
-            procpool, "_TEST_WORKER_FAULT", RuntimeError("injected worker fault")
-        )
-        pool = PersistentPool(workers=3)
-        with pytest.raises(RuntimeError):
-            pool.run_snd(CSRSpace.from_graph(small_powerlaw_graph, 1, 2))
+        with faults.fault_plan({"faults": [{"kind": "crash", "worker": 0}]}):
+            pool = PersistentPool(workers=3)
+            with pytest.raises(RuntimeError):
+                pool.run_snd(CSRSpace.from_graph(small_powerlaw_graph, 1, 2))
         assert pool.closed  # a failed job poisons the pool
         assert_all_unlinked(captured_segments)
 
-    @pytest.mark.skipif(not HAVE_FORK, reason="fault injection needs fork")
     def test_hard_killed_worker_fails_fast(
-        self, small_powerlaw_graph, captured_segments, monkeypatch
+        self, small_powerlaw_graph, captured_segments
     ):
         import time
 
-        monkeypatch.setattr(procpool, "_TEST_WORKER_FAULT", "hard-exit")
-        pool = PersistentPool(workers=3)
-        t0 = time.perf_counter()
-        with pytest.raises(RuntimeError, match="exit codes"):
-            pool.run_snd(CSRSpace.from_graph(small_powerlaw_graph, 1, 2))
+        plan = {"faults": [{"kind": "crash", "worker": 1, "mode": "hard-exit"}]}
+        with faults.fault_plan(plan):
+            pool = PersistentPool(workers=3)
+            t0 = time.perf_counter()
+            with pytest.raises(RuntimeError, match="exit codes"):
+                pool.run_snd(CSRSpace.from_graph(small_powerlaw_graph, 1, 2))
         assert time.perf_counter() - t0 < 30.0  # far below barrier_timeout
         assert pool.closed
         assert_all_unlinked(captured_segments)
@@ -333,38 +331,36 @@ class TestSegmentLifecycle:
         assert result.converged
         assert_all_unlinked(captured_segments)
 
-    @pytest.mark.skipif(not HAVE_FORK, reason="fault injection needs fork")
     def test_unlinked_on_worker_exception(
-        self, small_powerlaw_graph, captured_segments, monkeypatch
+        self, small_powerlaw_graph, captured_segments
     ):
-        monkeypatch.setattr(
-            procpool, "_TEST_WORKER_FAULT", RuntimeError("injected worker fault")
-        )
-        with pytest.raises(RuntimeError, match="injected worker fault"):
-            process_snd_decomposition(small_powerlaw_graph, 1, 2, workers=3)
+        plan = {"faults": [{"kind": "crash-entry", "worker": 0}]}
+        with faults.fault_plan(plan):
+            with pytest.raises(RuntimeError, match="injected worker fault"):
+                process_snd_decomposition(small_powerlaw_graph, 1, 2, workers=3)
         assert_all_unlinked(captured_segments)
 
-    @pytest.mark.skipif(not HAVE_FORK, reason="fault injection needs fork")
     def test_unlinked_on_worker_keyboard_interrupt(
-        self, small_powerlaw_graph, captured_segments, monkeypatch
+        self, small_powerlaw_graph, captured_segments
     ):
-        monkeypatch.setattr(procpool, "_TEST_WORKER_FAULT", KeyboardInterrupt())
-        with pytest.raises(RuntimeError):
-            process_and_decomposition(small_powerlaw_graph, 1, 2, workers=3)
+        plan = {"faults": [{"kind": "crash-entry", "worker": 0, "mode": "interrupt"}]}
+        with faults.fault_plan(plan):
+            with pytest.raises(RuntimeError):
+                process_and_decomposition(small_powerlaw_graph, 1, 2, workers=3)
         assert_all_unlinked(captured_segments)
 
-    @pytest.mark.skipif(not HAVE_FORK, reason="fault injection needs fork")
     def test_hard_killed_worker_fails_fast(
-        self, small_powerlaw_graph, captured_segments, monkeypatch
+        self, small_powerlaw_graph, captured_segments
     ):
         """A worker dying without cleanup (as an OOM kill would) must not
         stall its peers until the barrier safety timeout."""
         import time
 
-        monkeypatch.setattr(procpool, "_TEST_WORKER_FAULT", "hard-exit")
-        t0 = time.perf_counter()
-        with pytest.raises(RuntimeError, match="exit codes"):
-            process_snd_decomposition(small_powerlaw_graph, 1, 2, workers=3)
+        plan = {"faults": [{"kind": "crash", "worker": 2, "mode": "hard-exit"}]}
+        with faults.fault_plan(plan):
+            t0 = time.perf_counter()
+            with pytest.raises(RuntimeError, match="exit codes"):
+                process_snd_decomposition(small_powerlaw_graph, 1, 2, workers=3)
         assert time.perf_counter() - t0 < 30.0  # far below barrier_timeout
         assert_all_unlinked(captured_segments)
 

@@ -308,3 +308,97 @@ class TestWiring:
         assert isinstance(bundle, Bundle)
         assert "(2,3)" in bundle.summary()
         assert bundle.has("graph") and not bundle.has("nonsense")
+
+
+# ----------------------------------------------------------------------
+# corruption recovery: quarantine and rebuild
+# ----------------------------------------------------------------------
+ALL_BUFFER_KINDS = (
+    "graph.indptr",
+    "graph.indices",
+    "space.ctx_offsets",
+    "space.ctx_members",
+    "space.nbr_offsets",
+    "space.nbr_members",
+    "space.clique_ids",
+    "result.kappa",
+)
+
+
+class TestCorruptionRecovery:
+    """A flipped byte in any buffer kind must be *caught* (verified open)
+    and *survivable* (the dataset cache quarantines and rebuilds)."""
+
+    @pytest.mark.parametrize("buffer_name", ALL_BUFFER_KINDS)
+    def test_verified_open_catches_any_flipped_buffer(self, saved, buffer_name):
+        from repro.resilience.faults import FaultInjector
+
+        path, *_ = saved
+        hit = FaultInjector(
+            [{"kind": "corrupt", "buffer": buffer_name}]
+        ).corrupt_bundle(path)
+        assert hit == 1
+        with pytest.raises(StoreFormatError, match="checksum|crc|CRC"):
+            open_bundle(path, verify=True)
+        # the unverified open stays lazy and cheap: corruption in buffer
+        # payloads is the *verified* open's job to catch
+        open_bundle(path)
+
+    @pytest.mark.parametrize("buffer_name", ["graph.indptr", "graph.indices"])
+    def test_cache_quarantines_and_rebuilds_with_parity(
+        self, tmp_path, buffer_name
+    ):
+        from repro.datasets.registry import CACHE_EVENTS
+        from repro.resilience.faults import FaultInjector
+
+        fresh = load_dataset("fb", "csr")
+        cache = tmp_path / "cache"
+        load_dataset("fb", "csr", cache_dir=cache)
+        FaultInjector(
+            [{"kind": "corrupt", "buffer": buffer_name}]
+        ).corrupt_bundle(cache / "fb")
+
+        quarantined_before = CACHE_EVENTS["quarantined"]
+        rebuilt = load_dataset("fb", "csr", cache_dir=cache)
+        assert np.array_equal(rebuilt.indptr, fresh.indptr)
+        assert np.array_equal(rebuilt.indices, fresh.indices)
+        assert CACHE_EVENTS["quarantined"] == quarantined_before + 1
+        assert (cache / "fb.corrupt-0").is_dir()
+        # the quarantined copy is preserved for post-mortem, the live
+        # entry is healthy again
+        open_bundle(cache / "fb", verify=True)
+
+    def test_quarantine_names_never_collide(self, tmp_path):
+        from repro.resilience.faults import FaultInjector
+
+        cache = tmp_path / "cache"
+        for expected in ("fb.corrupt-0", "fb.corrupt-1"):
+            load_dataset("fb", "csr", cache_dir=cache)
+            FaultInjector([{"kind": "corrupt"}]).corrupt_bundle(cache / "fb")
+            load_dataset("fb", "csr", cache_dir=cache)
+            assert (cache / expected).is_dir()
+
+    def test_save_time_corruption_fault_hook(self, tmp_path):
+        """An active ``corrupt`` fault plan damages the bundle as it is
+        saved — and its one-shot budget means the rebuild comes out clean."""
+        from repro.resilience import faults
+
+        graph = CSRGraph.from_graph(ring_of_cliques(3, 4))
+        with faults.fault_plan({"faults": [{"kind": "corrupt"}]}) as injector:
+            path = save_bundle(tmp_path / "sabotaged", graph=graph)
+            assert injector.fired.get("corrupt") == 1
+            with pytest.raises(StoreFormatError):
+                open_bundle(path, verify=True)
+            # budget spent: a re-save inside the same plan is untouched
+            clean = save_bundle(tmp_path / "clean", graph=graph)
+            open_bundle(clean, verify=True)
+
+    def test_quarantine_logs_a_warning(self, tmp_path, caplog):
+        from repro.resilience.faults import FaultInjector
+
+        cache = tmp_path / "cache"
+        load_dataset("fb", "csr", cache_dir=cache)
+        FaultInjector([{"kind": "corrupt"}]).corrupt_bundle(cache / "fb")
+        with caplog.at_level("WARNING", logger="repro.datasets.registry"):
+            load_dataset("fb", "csr", cache_dir=cache)
+        assert any("quarantined" in rec.message for rec in caplog.records)
