@@ -1,0 +1,156 @@
+"""Project-specific static analysis: the invariants, machine-checked.
+
+The array/pool/store stack only stays correct because a handful of
+cross-cutting conventions hold everywhere: persisted and shared buffers are
+int64, every created shared-memory segment is released on all paths, worker
+payloads stay picklable under any start method, ``@kernel`` functions stay
+vectorised, failures surface through the :mod:`repro.resilience.errors`
+taxonomy, and routing parameters are threaded through to
+``nucleus_decomposition``.  This package turns those review conventions into
+an AST-based checker suite with stable rule codes — see
+:mod:`repro.analysis.rules` for the catalogue and ``docs/ANALYSIS.md`` for
+the prose version.
+
+Run it as a module::
+
+    python -m repro.analysis src                 # text report, exit 1 on findings
+    python -m repro.analysis src --format=sarif  # GitHub code-scanning upload
+    python -m repro.analysis --list-rules
+
+Suppress a deliberate exception inline with ``# repro: noqa[CODE]``; the
+committed ``analysis-baseline.json`` grandfathers pre-existing findings (and
+is kept empty by policy — see ``docs/ANALYSIS.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis import rules as _rules  # noqa: F401 - registers the rules
+from repro.analysis.core import (
+    Finding,
+    FileContext,
+    Rule,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    load_baseline,
+    registered_rules,
+    split_baselined,
+    write_baseline,
+)
+from repro.analysis.emit import EMITTERS
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "analyze_file",
+    "analyze_source",
+    "analyze_paths",
+    "registered_rules",
+    "load_baseline",
+    "write_baseline",
+    "main",
+]
+
+#: Default location of the committed grandfather list, repo-root relative.
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Run the project-specific static-analysis suite.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=sorted(EMITTERS), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline file with the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--exit-zero", action="store_true",
+        help="always exit 0 (for report-only CI steps)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    rules = registered_rules()
+
+    if args.list_rules:
+        for code, rule_cls in rules.items():
+            print(f"{code}  {rule_cls.name}: {rule_cls.description}")
+        return 0
+
+    select: Optional[List[str]] = None
+    if args.select:
+        select = [c.strip().upper() for c in args.select.split(",") if c.strip()]
+        unknown = sorted(set(select) - set(rules))
+        if unknown:
+            print(f"unknown rule codes: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    findings, suppressed = analyze_paths(paths, select)
+
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(
+            f"wrote {len(findings)} finding(s) to {baseline_path}", file=sys.stderr
+        )
+        return 0
+    baseline = set() if args.no_baseline else load_baseline(baseline_path)
+    fresh, grandfathered = split_baselined(findings, baseline)
+
+    report = EMITTERS[args.format](fresh, rules)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    elif report:
+        print(report)
+
+    summary = (
+        f"{len(fresh)} finding(s)"
+        f" ({len(grandfathered)} baselined, {len(suppressed)} suppressed)"
+    )
+    print(summary, file=sys.stderr)
+    if args.exit_zero:
+        return 0
+    return 1 if fresh else 0

@@ -1,0 +1,297 @@
+"""Checker framework: findings, rule registry, suppressions, baseline.
+
+The pieces every rule shares:
+
+* :class:`Finding` — one ``(file, line, code, message)`` diagnostic record;
+* :class:`Rule` — an :class:`ast.NodeVisitor` subclass with a stable
+  ``code``; concrete rules live in :mod:`repro.analysis.rules` and register
+  themselves with :func:`register`;
+* :class:`FileContext` — parsed source handed to every rule: the AST (with
+  parent links), the raw lines, and the ``# repro: noqa[CODE]`` suppression
+  table;
+* :func:`analyze_file` / :func:`analyze_paths` — drive all registered rules
+  over files and directories, applying suppressions;
+* :func:`load_baseline` / :func:`write_baseline` — the committed
+  grandfather list: baselined findings are reported separately and do not
+  fail the run, so a new rule can land before every historical violation is
+  fixed.  (This repo's policy, enforced by the test-suite, is an *empty*
+  baseline: genuine exemptions carry an explanatory inline ``noqa``
+  instead.)
+
+Suppression syntax, modelled on flake8/ruff but namespaced so the two
+toolchains never eat each other's directives::
+
+    shm = SharedMemory(create=True, size=64)  # repro: noqa[RES001]
+    values = build()  # repro: noqa  (suppresses every code on the line)
+
+A finding is suppressed when the directive appears on the finding's own
+line.  Unknown codes inside the brackets are ignored (they suppress
+nothing), so a typo can never silently disable a different rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "register",
+    "registered_rules",
+    "analyze_file",
+    "analyze_source",
+    "analyze_paths",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: ``# repro: noqa`` / ``# repro: noqa[CODE1,CODE2]`` — the inline
+#: suppression directive.  Anchored on the comment marker so it matches
+#: anywhere in a line's trailing comment.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]*)\])?")
+
+#: Suppress-everything marker used in the suppression table.
+_ALL = "*"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: a rule ``code`` firing at ``file:line``."""
+
+    file: str
+    line: int
+    code: str
+    message: str
+
+    def key(self) -> str:
+        """Stable identity used by the baseline (message text excluded,
+        so rewording a rule does not orphan grandfathered entries)."""
+        return f"{self.file}:{self.code}:{self.line}"
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.code} {self.message}"
+
+
+class FileContext:
+    """Parsed source shared by every rule visiting one file."""
+
+    def __init__(self, path: str, source: str, tree: Optional[ast.AST] = None) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree if tree is not None else ast.parse(source, filename=path)
+        self.noqa: Dict[int, Set[str]] = self._scan_noqa()
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    def _scan_noqa(self) -> Dict[int, Set[str]]:
+        table: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            if "#" not in line:
+                continue
+            match = _NOQA_RE.search(line)
+            if match is None:
+                continue
+            codes = match.group(1)
+            if codes is None:
+                table[lineno] = {_ALL}
+            else:
+                table[lineno] = {c.strip().upper() for c in codes.split(",") if c.strip()}
+        return table
+
+    def suppressed(self, line: int, code: str) -> bool:
+        codes = self.noqa.get(line)
+        return codes is not None and (_ALL in codes or code.upper() in codes)
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module node."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+
+class Rule(ast.NodeVisitor):
+    """Base class of every check: one stable code, one AST pass per file.
+
+    Subclasses set the class attributes and implement ``visit_*`` methods
+    that call :meth:`report`.  ``applies_to`` lets path-scoped rules (the
+    dtype discipline only binds inside ``core/``/``graph/``/``store/``)
+    skip whole files cheaply.
+    """
+
+    #: Stable identifier, e.g. ``"RES001"``.  Never recycle codes.
+    code: str = ""
+    #: Short human name shown by ``--list-rules`` and the SARIF rule table.
+    name: str = ""
+    #: One-line description of the enforced invariant.
+    description: str = ""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        """Whether this rule runs on ``path`` at all (default: every file)."""
+        return True
+
+    def report(self, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        self.findings.append(Finding(self.ctx.path, line, self.code, message))
+
+    def run(self) -> List[Finding]:
+        self.visit(self.ctx.tree)
+        return self.findings
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (codes must be unique)."""
+    code = rule_cls.code
+    if not code:
+        raise ValueError(f"rule {rule_cls.__name__} has no code")
+    if code in _REGISTRY and _REGISTRY[code] is not rule_cls:
+        raise ValueError(f"duplicate rule code {code!r}")
+    _REGISTRY[code] = rule_cls
+    return rule_cls
+
+
+def registered_rules() -> Dict[str, Type[Rule]]:
+    """The registry, sorted by code (import :mod:`repro.analysis.rules` first)."""
+    return dict(sorted(_REGISTRY.items()))
+
+
+def _normalise(path: Path) -> str:
+    """Repo-relative forward-slash path when possible, else as given."""
+    try:
+        rel = path.resolve().relative_to(Path.cwd().resolve())
+        return rel.as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def analyze_file(
+    path: Path, select: Optional[Sequence[str]] = None
+) -> Tuple[List[Finding], List[Finding]]:
+    """Run the selected rules over one file.
+
+    Returns ``(findings, suppressed)``: suppressed findings carried a
+    matching inline ``noqa`` and are reported separately (the CLI counts
+    them, emitters may include them as suppressed results).  A file with a
+    syntax error yields a single pseudo-finding with code ``PARSE`` — the
+    analysis never crashes on it.
+    """
+    return analyze_source(path.read_text(encoding="utf-8"), _normalise(path), select)
+
+
+def analyze_source(
+    source: str, virtual_path: str, select: Optional[Sequence[str]] = None
+) -> Tuple[List[Finding], List[Finding]]:
+    """Run the selected rules over in-memory ``source``.
+
+    ``virtual_path`` is what path-scoped rules (``applies_to``) and the
+    emitted findings see — it does not need to exist on disk, which is how
+    the fixture self-tests exercise a rule like ARR001 (scoped to
+    ``core/``/``graph/``/``store/``) from a corpus stored elsewhere.
+    """
+    try:
+        ctx = FileContext(virtual_path, source)
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    virtual_path, exc.lineno or 0, "PARSE", f"syntax error: {exc.msg}"
+                )
+            ],
+            [],
+        )
+    wanted = None if select is None else {c.upper() for c in select}
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for code, rule_cls in registered_rules().items():
+        if wanted is not None and code not in wanted:
+            continue
+        if not rule_cls.applies_to(virtual_path):
+            continue
+        for finding in rule_cls(ctx).run():
+            if ctx.suppressed(finding.line, finding.code):
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+    kept.sort()
+    suppressed.sort()
+    return kept, suppressed
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into ``.py`` files, skipping caches."""
+    for path in paths:
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if "__pycache__" not in sub.parts:
+                    yield sub
+        elif path.suffix == ".py":
+            yield path
+
+
+def analyze_paths(
+    paths: Iterable[Path], select: Optional[Sequence[str]] = None
+) -> Tuple[List[Finding], List[Finding]]:
+    """Run the suite over files and directory trees; see :func:`analyze_file`."""
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        kept, quiet = analyze_file(file_path, select)
+        findings.extend(kept)
+        suppressed.extend(quiet)
+    return findings, suppressed
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+def load_baseline(path: Path) -> Set[str]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or not isinstance(data.get("findings"), list):
+        raise ValueError(
+            f"baseline {path} must be a JSON object with a 'findings' list"
+        )
+    return {str(entry) for entry in data["findings"]}
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Persist the current findings as the new grandfather list."""
+    payload = {
+        "comment": (
+            "Grandfathered repro.analysis findings. Policy: keep this empty; "
+            "fix violations or add an explanatory '# repro: noqa[CODE]'."
+        ),
+        "findings": sorted(f.key() for f in findings),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_baselined(
+    findings: Sequence[Finding], baseline: Set[str]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into ``(new, grandfathered)`` against a baseline."""
+    fresh = [f for f in findings if f.key() not in baseline]
+    old = [f for f in findings if f.key() in baseline]
+    return fresh, old

@@ -1,0 +1,94 @@
+"""Output formats for analysis findings: text, JSON, SARIF.
+
+``text`` is the human/CI-log format (one ``path:line: CODE message`` per
+finding), ``json`` the machine-readable list, and ``sarif`` a minimal
+SARIF 2.1.0 document suitable for GitHub code-scanning upload, so findings
+surface as inline PR annotations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Type
+
+from repro.analysis.core import Finding, Rule
+
+__all__ = ["emit_text", "emit_json", "emit_sarif", "EMITTERS"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def emit_text(findings: Sequence[Finding], rules: Dict[str, Type[Rule]]) -> str:
+    """One finding per line; the empty string for a clean run."""
+    return "\n".join(f.render() for f in findings)
+
+
+def emit_json(findings: Sequence[Finding], rules: Dict[str, Type[Rule]]) -> str:
+    payload = [
+        {"file": f.file, "line": f.line, "code": f.code, "message": f.message}
+        for f in findings
+    ]
+    return json.dumps(payload, indent=2)
+
+
+def emit_sarif(findings: Sequence[Finding], rules: Dict[str, Type[Rule]]) -> str:
+    """Minimal SARIF 2.1.0: one run, one driver, one result per finding."""
+    rule_objects: List[dict] = [
+        {
+            "id": code,
+            "name": rule_cls.name,
+            "shortDescription": {"text": rule_cls.description},
+            "helpUri": "docs/ANALYSIS.md",
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code, rule_cls in sorted(rules.items())
+    ]
+    rule_index = {code: i for i, code in enumerate(sorted(rules))}
+    results = [
+        {
+            "ruleId": f.code,
+            "ruleIndex": rule_index.get(f.code, -1),
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.file,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {"startLine": max(f.line, 1)},
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": rule_objects,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)
+
+
+EMITTERS = {
+    "text": emit_text,
+    "json": emit_json,
+    "sarif": emit_sarif,
+}

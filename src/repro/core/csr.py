@@ -39,12 +39,14 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 from itertools import combinations
 
 from repro.core.hindex import h_index
+from repro.core.kernels import kernel
 from repro.core.result import DecompositionResult, IterationStats
 from repro.core.space import NucleusSpace, _binomial
 from repro.graph.cliques import canonical_clique, enumerate_k_cliques
 from repro.graph.csr_graph import CliqueArrayView, CSRGraph, _check_key_space
 from repro.graph.graph import Graph, sorted_vertices
 from repro.graph.triangles import degeneracy_ordering
+from repro.resilience.errors import MissingDependencyError
 
 try:  # numpy is an optional extra; every code path has a pure-Python fallback
     import numpy as _np
@@ -337,7 +339,7 @@ class CSRSpace:
     def _from_csr_graph(cls, graph: CSRGraph, r: int, s: int) -> "CSRSpace":
         """Array-native construction from a :class:`CSRGraph` source."""
         if _np is None:  # pragma: no cover - CSRGraph itself requires numpy
-            raise RuntimeError("CSRGraph sources require numpy")
+            raise MissingDependencyError("CSRGraph sources require numpy")
         if (r, s) == (1, 2):
             clique_ids, groups = _incidence_arrays_vertex_edge(graph)
         elif (r, s) == (2, 3):
@@ -349,6 +351,7 @@ class CSRSpace:
         return cls._from_incidence_arrays(r, s, clique_ids, groups, graph)
 
     @classmethod
+    @kernel
     def _from_incidence_arrays(
         cls,
         r: int,
@@ -380,7 +383,8 @@ class CSRSpace:
             # context slots grouped by owner, in s-clique enumeration order
             order = _np.argsort(flat, kind="stable")
             cols = _np.array(
-                [[j for j in range(group_size) if j != i] for i in range(group_size)],
+                # constant (group_size, stride) pattern table, O(C(s,r)^2)
+                [[j for j in range(group_size) if j != i] for i in range(group_size)],  # repro: noqa[KER001]
                 dtype=_np.int64,
             )
             others = groups[:, cols].reshape(num_s * group_size, stride)
@@ -806,6 +810,7 @@ def _incidence_arrays_generic(graph: CSRGraph, r: int, s: int):
     return table, _stack_rows(group_rows, _binomial(s, r))
 
 
+@kernel
 def _lookup_rows(table, queries):
     """Indices of ``queries`` rows inside the lex-sorted unique ``table``.
 
@@ -1405,6 +1410,7 @@ def _snd_csr_python(
     )
 
 
+@kernel
 def _snd_csr_numpy(
     space: CSRSpace,
     *,
@@ -1432,7 +1438,10 @@ def _snd_csr_numpy(
     )
 
     tau = degrees.copy()
-    history: Optional[List[List[int]]] = [tau.tolist()] if record_history else None
+    # tolist below: history/callback instrumentation, not the sweep itself
+    history: Optional[List[List[int]]] = (
+        [tau.tolist()] if record_history else None  # repro: noqa[KER001]
+    )
     stats: List[IterationStats] = []
     rho_evaluations = 0
     h_calls = 0
@@ -1462,9 +1471,9 @@ def _snd_csr_numpy(
         max_change = int((previous - tau).max(initial=0))
         converged = updated == 0
         if history is not None:
-            history.append(tau.tolist())
+            history.append(tau.tolist())  # repro: noqa[KER001]
         if on_iteration is not None:
-            on_iteration(iteration, tau.tolist())
+            on_iteration(iteration, tau.tolist())  # repro: noqa[KER001]
         converged_count = int((tau == ref).sum()) if ref is not None else -1
         stats.append(
             IterationStats(

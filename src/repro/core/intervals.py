@@ -47,6 +47,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.resilience.errors import MissingDependencyError
+
 try:  # numpy is an optional extra of the package
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised on numpy-free installs
@@ -74,7 +76,7 @@ INDEX_ARRAYS = (
 
 def _require_numpy() -> None:
     if _np is None:  # pragma: no cover - exercised on numpy-free installs
-        raise RuntimeError(
+        raise MissingDependencyError(
             "the interval hierarchy index requires numpy; use the "
             "object-walking NucleusHierarchy API instead"
         )

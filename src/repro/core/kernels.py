@@ -1,0 +1,40 @@
+"""Kernel registry: the functions that must stay free of interpreted Python.
+
+The raw-speed tier of this codebase lives in a handful of *kernels* —
+functions whose bodies are expected to execute as a fixed number of
+vectorised numpy passes, never as per-element interpreted loops over clique
+arrays.  The :func:`kernel` decorator marks them and records them in
+:data:`KERNELS`; the static-analysis rule ``KER001``
+(:mod:`repro.analysis.rules`) then mechanically rejects interpreted-Python
+constructs (``for i in range(...)`` element loops, ``.tolist()`` round-trips,
+dict/set building) inside any marked function, so a hot path cannot silently
+regress into the tier the CSR backend exists to escape.
+
+The decorator is deliberately transparent — it returns the function object
+unchanged, adds no call overhead, and the registry is import-order append
+only — so marking a kernel can never change behaviour.
+
+>>> @kernel
+... def double(values):
+...     return values * 2
+>>> f"{double.__module__}.{double.__qualname__}" in KERNELS
+True
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, TypeVar
+
+__all__ = ["kernel", "KERNELS"]
+
+_F = TypeVar("_F", bound=Callable)
+
+#: Registered kernels, keyed ``"module.qualname"``; populated at import time
+#: by every module that defines ``@kernel`` functions.
+KERNELS: Dict[str, Callable] = {}
+
+
+def kernel(fn: _F) -> _F:
+    """Mark ``fn`` as a raw-speed kernel (see module docstring)."""
+    KERNELS[f"{fn.__module__}.{fn.__qualname__}"] = fn
+    return fn

@@ -178,7 +178,7 @@ class DecompositionResult:
         space: Union[NucleusSpace, "CSRSpace"],
         algorithm: str,
         kappa: List[int],
-        **kwargs,
+        **kwargs: Any,
     ) -> "DecompositionResult":
         """Build a result aligned with a :class:`NucleusSpace` or :class:`CSRSpace`.
 

@@ -38,6 +38,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.graph.cliques import canonical_clique
 from repro.graph.graph import Edge, Graph, Vertex, sorted_vertices
+from repro.resilience.errors import MissingDependencyError
 
 try:  # numpy is an optional extra of the package, required only here
     import numpy as np
@@ -55,7 +56,7 @@ DEFAULT_BATCH_SIZE = 1 << 20
 
 def _require_numpy() -> None:
     if np is None:  # pragma: no cover - exercised on numpy-free installs
-        raise RuntimeError(
+        raise MissingDependencyError(
             "CSRGraph requires numpy; install the 'numpy' extra or use the "
             "dict-backed repro.graph.graph.Graph instead"
         )
@@ -121,7 +122,7 @@ def _segment_take(ptr, data, rows):
         return np.empty(0, dtype=data.dtype)
     starts = ptr[rows]
     shifts = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]))
-    return data[np.repeat(starts - shifts, counts) + np.arange(total)]
+    return data[np.repeat(starts - shifts, counts) + np.arange(total, dtype=np.int64)]
 
 
 def _pairs_within(ptr):

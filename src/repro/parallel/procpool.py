@@ -46,6 +46,7 @@ by fixed-point uniqueness for AND — which the test-suite asserts.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing as mp
 import os
 import secrets
@@ -55,11 +56,13 @@ import threading
 import time
 import traceback
 from array import array
+from dataclasses import dataclass, replace
 from multiprocessing import shared_memory
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.csr import CSRSpace, _as_csr, snd_decomposition_csr, weighted_ranges
 from repro.core.hindex import h_index
+from repro.core.kernels import kernel
 from repro.core.result import DecompositionResult
 from repro.core.space import NucleusSpace
 from repro.graph.graph import Graph
@@ -77,6 +80,8 @@ except ImportError:  # pragma: no cover - exercised on numpy-free installs
 
 __all__ = [
     "SharedCSRBuffers",
+    "WorkerSpec",
+    "JobSpec",
     "ProcessPoolBackend",
     "PersistentPool",
     "process_snd_decomposition",
@@ -127,10 +132,9 @@ def _reset_inherited_signals() -> None:
     run supervisor code inside the worker instead of killing it, stretching
     every pool teardown into the SIGKILL escalation path.
     """
-    try:
+    # ValueError/OSError: not the main thread / exotic host — nothing to reset
+    with contextlib.suppress(ValueError, OSError):
         signal.signal(signal.SIGTERM, signal.SIG_DFL)
-    except (ValueError, OSError):  # pragma: no cover - non-main thread
-        pass
 
 
 def _fire_fault(directive: dict) -> None:
@@ -140,24 +144,71 @@ def _fire_fault(directive: dict) -> None:
         os._exit(9)  # no cleanup at all, like an OOM kill
     if mode == "interrupt":
         raise KeyboardInterrupt("injected worker fault")
-    raise RuntimeError(f"injected worker fault: {directive.get('kind')}")
+    # Injection deliberately simulates an arbitrary, non-taxonomy crash — the
+    # supervisor must classify it from process state, not from the type.
+    raise RuntimeError(f"injected worker fault: {directive.get('kind')}")  # repro: noqa[ERR001]
 
 
-def _fire_entry_faults(spec: dict) -> None:
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything one worker process needs, pickled across the start method.
+
+    Frozen: a spec crosses a process boundary at fork/spawn time, so
+    parent-side mutation after ``Process.start`` could never reach the
+    worker anyway — immutability makes that impossible to rely on.  Every
+    field is picklable by construction (strings, ints, tuples of dicts);
+    ``tests/test_procpool_pickling.py`` asserts the round-trip under both
+    start methods.
+
+    ``kind`` / ``max_iterations`` / ``notification`` are set for one-shot
+    workers, whose spec doubles as their only job; persistent workers leave
+    them at their defaults and receive :class:`JobSpec` objects over a pipe
+    instead.
+    """
+
+    names: Dict[str, str]
+    n: int
+    stride: int
+    bounds: Tuple[int, int]
+    wid: int
+    barrier_timeout: float
+    kind: Optional[str] = None
+    max_iterations: Optional[int] = None
+    notification: bool = True
+    faults: Optional[Tuple[dict, ...]] = None
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One decomposition job, sent down a persistent worker's pipe.
+
+    Frozen for the same reason as :class:`WorkerSpec`; per-worker fault
+    directives are attached with :func:`dataclasses.replace`, never by
+    mutating the shared instance.
+    """
+
+    kind: str
+    max_iterations: Optional[int] = None
+    notification: bool = True
+    gen: int = 0
+    faults: Optional[Tuple[dict, ...]] = None
+
+
+def _fire_entry_faults(spec: WorkerSpec) -> None:
     """Run any injected crash-on-entry directives carried by a worker spec.
 
     Directives are computed parent-side by the active
     :class:`repro.resilience.faults.FaultInjector` and travel inside the
     pickled spec, so injection works under any start method.
     """
-    for directive in spec.get("faults") or ():
+    for directive in spec.faults or ():
         if directive.get("kind") == "crash-entry":
             _fire_fault(directive)
 
 
-def _fire_round_faults(job: dict, round_no: int) -> None:
+def _fire_round_faults(job: JobSpec, round_no: int) -> None:
     """Run injected crash/stall directives scheduled for sweep round ``round_no``."""
-    for directive in job.get("faults") or ():
+    for directive in job.faults or ():
         if directive.get("round") != round_no:
             continue
         kind = directive.get("kind")
@@ -217,14 +268,12 @@ class SharedCSRBuffers:
     def destroy(self) -> None:
         """Close and unlink every segment (idempotent, never raises)."""
         for seg in self._segments:
-            try:
+            # a live view pins the mapping; unlinking still works
+            with contextlib.suppress(OSError, BufferError):
                 seg.close()
-            except (OSError, BufferError):
-                pass  # a live view pins the mapping; unlinking still works
-            try:
+            # FileNotFoundError: already unlinked (e.g. destroy called twice)
+            with contextlib.suppress(FileNotFoundError):
                 seg.unlink()
-            except FileNotFoundError:
-                pass  # already unlinked (e.g. destroy called twice)
         self._segments = []
 
 
@@ -304,14 +353,16 @@ def _extract_result(arena: SharedCSRBuffers, kind: str, n: int, num_workers: int
 # ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
-def _attach_views(spec: dict, attached: List[shared_memory.SharedMemory]) -> dict:
+def _attach_views(
+    spec: WorkerSpec, attached: List[shared_memory.SharedMemory]
+) -> dict:
     """Attach to every segment named in ``spec`` and build the typed views.
 
     Called once per worker process — one-shot workers use the views for a
     single job, persistent workers keep them across jobs (the numpy SND
     sweep closure is cached lazily under ``"snd_sweep"``).
     """
-    names = spec["names"]
+    names = spec.names
     off_shm = _attach(names["ctx_offsets"], attached)
     cm_shm = _attach(names["ctx_members"], attached)
     views = {
@@ -347,17 +398,15 @@ def _close_attached(
         # __del__ at interpreter shutdown
         views.clear()
     for shm in attached:
-        try:
+        # BufferError: a surviving view still pins the mapping; process exit
+        # unmaps it regardless, and the parent still unlinks the name
+        with contextlib.suppress(BufferError):
             shm.close()
-        except BufferError:
-            # a surviving view still pins the mapping; process exit unmaps
-            # it regardless, and the parent still unlinks the name
-            pass
 
 
-def _run_job(views: dict, spec: dict, job: dict, barrier) -> None:
+def _run_job(views: dict, spec: WorkerSpec, job: JobSpec, barrier) -> None:
     """Run one decomposition job (SND or AND) over this worker's chunk."""
-    if job["kind"] == "snd":
+    if job.kind == "snd":
         _snd_job(views, spec, job, barrier)
     else:
         _and_job(views, spec, job, barrier)
@@ -377,14 +426,14 @@ def _round_sync(barrier, counts_mv, wid: int, updated: int, timeout: float) -> i
     return total
 
 
-def _snd_job(views: dict, spec: dict, job: dict, barrier) -> None:
+def _snd_job(views: dict, spec: WorkerSpec, job: JobSpec, barrier) -> None:
     """Jacobi SND sweeps over one chunk with a double-buffered shared τ."""
-    n = spec["n"]
-    stride = spec["stride"]
-    lo, hi = spec["bounds"]
-    wid = spec["wid"]
-    timeout = spec["barrier_timeout"]
-    max_rounds = job["max_iterations"]
+    n = spec.n
+    stride = spec.stride
+    lo, hi = spec.bounds
+    wid = spec.wid
+    timeout = spec.barrier_timeout
+    max_rounds = job.max_iterations
     counts_mv = views["counts"]
     meta_mv = views["meta"]
 
@@ -432,6 +481,7 @@ def _snd_job(views: dict, spec: dict, job: dict, barrier) -> None:
         meta_mv[_META_UPDATES] = updates_total
 
 
+@kernel
 def _make_numpy_sweep(cm_shm, off_shm, n: int, stride: int, lo: int, hi: int):
     """Vectorised chunk sweep: per-context minima + segment h-index.
 
@@ -489,7 +539,7 @@ def _sweep_snd_python(ctx_off, cm, stride, prev, nxt, lo: int, hi: int) -> int:
     return updated
 
 
-def _and_job(views: dict, spec: dict, job: dict, barrier) -> None:
+def _and_job(views: dict, spec: WorkerSpec, job: JobSpec, barrier) -> None:
     """Asynchronous AND rounds over one *owned* chunk of a single shared τ.
 
     The worker is the only writer of ``τ[lo:hi]``; within a round it applies
@@ -497,7 +547,7 @@ def _and_job(views: dict, spec: dict, job: dict, barrier) -> None:
     other chunks are read at their latest published value (snapshotted at
     round start — any published value is valid because τ only decreases).
 
-    With ``job["notification"]`` the shared active bitmap restricts a round
+    With ``job.notification`` the shared active bitmap restricts a round
     to the cliques flagged since their last scan: the flag is *claimed*
     (cleared) before the scan, so a concurrent cross-chunk τ decrease either
     lands in the values the scan reads or re-raises the flag for the next
@@ -508,11 +558,11 @@ def _and_job(views: dict, spec: dict, job: dict, barrier) -> None:
     full sweep saw zero updates — exactly the serial criterion — so κ equals
     the serial kernels' unique fixed point regardless of flag races.
     """
-    stride = spec["stride"]
-    lo, hi = spec["bounds"]
-    wid = spec["wid"]
-    timeout = spec["barrier_timeout"]
-    max_rounds = job["max_iterations"]
+    stride = spec.stride
+    lo, hi = spec.bounds
+    wid = spec.wid
+    timeout = spec.barrier_timeout
+    max_rounds = job.max_iterations
     ctx_off = views["ctx_off"]
     cm = views["cm"]
     tau_mv = views["tau"][0]
@@ -521,7 +571,7 @@ def _and_job(views: dict, spec: dict, job: dict, barrier) -> None:
     active = views["active"]
     nbr_off = views["nbr_off"]
     nbr_mem = views["nbr_mem"]
-    use_active = bool(job.get("notification")) and active is not None
+    use_active = job.notification and active is not None
 
     rounds = 0
     converged = False
@@ -588,7 +638,7 @@ def _and_job(views: dict, spec: dict, job: dict, barrier) -> None:
         meta_mv[_META_UPDATES] = updates_total
 
 
-def _worker_main(spec: dict, barrier, errq) -> None:
+def _worker_main(spec: WorkerSpec, barrier, errq) -> None:
     """Entry point of one one-shot worker process (SND or AND)."""
     _reset_inherited_signals()
     attached: List[shared_memory.SharedMemory] = []
@@ -596,31 +646,31 @@ def _worker_main(spec: dict, barrier, errq) -> None:
     try:
         _fire_entry_faults(spec)
         views = _attach_views(spec, attached)
-        job = {
-            "kind": spec["kind"],
-            "max_iterations": spec["max_iterations"],
-            "notification": spec.get("notification", True),
-            "faults": spec.get("faults"),
-        }
+        job = JobSpec(
+            kind=spec.kind,
+            max_iterations=spec.max_iterations,
+            notification=spec.notification,
+            faults=spec.faults,
+        )
         _run_job(views, spec, job, barrier)
     except threading.BrokenBarrierError:
         # a peer failed (abort) or vanished (timeout); the nonzero exit code
         # tells the parent this run produced no trustworthy result
         sys.exit(3)
     except BaseException:
-        errq.put((spec["wid"], traceback.format_exc()))
+        errq.put((spec.wid, traceback.format_exc()))
         barrier.abort()  # unblock peers waiting on the round barrier
     finally:
         _close_attached(attached, views)
 
 
 def _persistent_worker_main(
-    spec: dict, barrier, conn, doneq, errq, inherited=()
+    spec: WorkerSpec, barrier, conn, doneq, errq, inherited=()
 ) -> None:
     """Job loop of one persistent worker: attach once, sweep many jobs.
 
-    Jobs arrive over ``conn`` (one dict per decomposition call, ``None`` to
-    shut down); each finished job is acknowledged on ``doneq`` together with
+    Jobs arrive over ``conn`` (one :class:`JobSpec` per decomposition call,
+    ``None`` to shut down); each finished job is acknowledged on ``doneq`` together with
     its generation number so the parent never mistakes a stale message for
     the current job's completion.
 
@@ -646,11 +696,11 @@ def _persistent_worker_main(
             if job is None:
                 break
             _run_job(views, spec, job, barrier)
-            doneq.put((spec["wid"], job["gen"]))
+            doneq.put((spec.wid, job.gen))
     except threading.BrokenBarrierError:
         sys.exit(3)
     except BaseException:
-        errq.put((spec["wid"], traceback.format_exc()))
+        errq.put((spec.wid, traceback.format_exc()))
         barrier.abort()
     finally:
         _close_attached(attached, views)
@@ -757,23 +807,23 @@ class ProcessPoolBackend:
             names = dict(arena.names)
             injector = _active_faults()
             for wid, bounds in enumerate(ranges):
-                spec = {
-                    "kind": kind,
-                    "names": names,
-                    "n": n,
-                    "stride": space.stride,
-                    "bounds": bounds,
-                    "wid": wid,
-                    "max_iterations": max_iterations,
-                    "notification": notification,
-                    "barrier_timeout": self.barrier_timeout,
-                }
+                spec = WorkerSpec(
+                    names=names,
+                    n=n,
+                    stride=space.stride,
+                    bounds=bounds,
+                    wid=wid,
+                    barrier_timeout=self.barrier_timeout,
+                    kind=kind,
+                    max_iterations=max_iterations,
+                    notification=notification,
+                )
                 if injector is not None:
                     directives = injector.entry_faults(wid)
                     round_faults, _ = injector.dispatch_faults(wid, pipe=False)
                     directives += round_faults
                     if directives:
-                        spec["faults"] = directives
+                        spec = replace(spec, faults=tuple(directives))
                 proc = self._ctx.Process(
                     target=_worker_main, args=(spec, barrier, errq), daemon=True
                 )
@@ -1022,12 +1072,12 @@ class PersistentPool:
             self._bind(space, source, (r, s))
             self._reset_buffers()
             self._generation += 1
-            job = {
-                "kind": kind,
-                "max_iterations": max_iterations,
-                "notification": notification,
-                "gen": self._generation,
-            }
+            job = JobSpec(
+                kind=kind,
+                max_iterations=max_iterations,
+                notification=notification,
+                gen=self._generation,
+            )
             injector = _active_faults()
             for wid, conn in enumerate(self._conns):
                 wjob = job
@@ -1039,13 +1089,12 @@ class PersistentPool:
                         conn.close()
                         continue
                     if directives:
-                        wjob = dict(job, faults=directives)
-                try:
+                        wjob = replace(job, faults=tuple(directives))
+                # BrokenPipeError/OSError: the worker died before the job
+                # could even be sent; _collect reports the death with its
+                # exit code
+                with contextlib.suppress(BrokenPipeError, OSError):
                     conn.send(wjob)
-                except (BrokenPipeError, OSError):
-                    # the worker died before the job could even be sent;
-                    # _collect reports the death with its exit code
-                    pass
             self._collect(self._generation)
             rounds, converged, updates_total, processed, kappa = _extract_result(
                 self._arena, kind, n, self._num_workers
@@ -1110,18 +1159,18 @@ class PersistentPool:
             names = dict(self._arena.names)
             injector = _active_faults()
             for wid, bounds in enumerate(ranges):
-                spec = {
-                    "names": names,
-                    "n": n,
-                    "stride": space.stride,
-                    "bounds": bounds,
-                    "wid": wid,
-                    "barrier_timeout": self.barrier_timeout,
-                }
+                spec = WorkerSpec(
+                    names=names,
+                    n=n,
+                    stride=space.stride,
+                    bounds=bounds,
+                    wid=wid,
+                    barrier_timeout=self.barrier_timeout,
+                )
                 if injector is not None:
                     entry = injector.entry_faults(wid)
                     if entry:
-                        spec["faults"] = entry
+                        spec = replace(spec, faults=tuple(entry))
                 parent_conn, child_conn = self._ctx.Pipe()
                 self._conns.append(parent_conn)
                 # under fork the child's fd table copies every parent-side
@@ -1230,15 +1279,11 @@ class PersistentPool:
         self._num_workers = 0
         if graceful:
             for conn in conns:
-                try:
+                with contextlib.suppress(BrokenPipeError, OSError):
                     conn.send(None)  # shutdown command
-                except (BrokenPipeError, OSError):
-                    pass
         for conn in conns:
-            try:
+            with contextlib.suppress(OSError):
                 conn.close()
-            except OSError:
-                pass
         _stop_processes(
             procs, graceful_join=_SHUTDOWN_GRACE if graceful else 0.0
         )

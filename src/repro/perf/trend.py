@@ -43,6 +43,7 @@ CLI usage (exit code 1 on regression, 0 otherwise)::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import glob
 import json
 import os
@@ -171,19 +172,15 @@ def archive_payload(
     # double-weighting the commit in the rolling median
     for stale in glob.glob(os.path.join(history_dir, f"*-{commit}.json")):
         if stale != path:
-            try:
+            with contextlib.suppress(OSError):
                 os.remove(stale)
-            except OSError:
-                pass
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     entries = sorted(glob.glob(os.path.join(history_dir, "*.json")))
     for old in entries[:max(0, len(entries) - keep)]:
-        try:
+        with contextlib.suppress(OSError):
             os.remove(old)
-        except OSError:
-            pass
     return path
 
 

@@ -40,6 +40,7 @@ False
 from __future__ import annotations
 
 import atexit
+import contextlib
 import os
 import re
 import signal
@@ -53,7 +54,7 @@ from typing import Optional, Union
 from repro.core.csr import _as_csr, and_decomposition_csr, snd_decomposition_csr
 from repro.core.result import DecompositionResult
 from repro.parallel.procpool import PersistentPool
-from repro.resilience.errors import ReproError
+from repro.resilience.errors import PoolPoisonedError, ReproError
 
 __all__ = [
     "ResiliencePolicy",
@@ -291,7 +292,7 @@ class SupervisedPool:
     # ------------------------------------------------------------------
     def _supervised(self, kind: str, source, r, s, **options) -> DecompositionResult:
         if self._closed:
-            raise RuntimeError("SupervisedPool is closed")
+            raise PoolPoisonedError("SupervisedPool is closed")
         # convert once: retries and the fallback reuse the same space, so a
         # crashed attempt never pays enumeration again
         space = _as_csr(source, r, s)
@@ -382,11 +383,9 @@ class SupervisedPool:
     def _remove_handlers(self) -> None:
         atexit.unregister(self.close)
         if self._previous_sigterm is not None:
-            try:
+            with contextlib.suppress(ValueError, OSError):  # pragma: no cover
                 if signal.getsignal(signal.SIGTERM) == self._handle_sigterm:
                     signal.signal(signal.SIGTERM, self._previous_sigterm)
-            except (ValueError, OSError):  # pragma: no cover - exotic hosts
-                pass
             self._previous_sigterm = None
 
     def _handle_sigterm(self, signum, frame):  # pragma: no cover - signal path

@@ -41,7 +41,20 @@ import os
 import time
 import zlib
 from pathlib import Path
-from typing import Any, Dict, Iterable, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.intervals import HierarchyIndex
 
 from repro.core.csr import CSRSpace
 from repro.core.hierarchy import NucleusHierarchy
@@ -49,7 +62,7 @@ from repro.core.result import DecompositionResult
 from repro.core.space import NucleusSpace, _binomial
 from repro.graph.csr_graph import CliqueArrayView, CSRGraph
 from repro.graph.graph import Graph, sorted_vertices
-from repro.resilience.errors import StoreFormatError
+from repro.resilience.errors import MissingDependencyError, StoreFormatError
 from repro.resilience.faults import get_active as _active_faults
 
 try:  # numpy is an optional extra; the store cannot operate without it
@@ -99,7 +112,7 @@ RESULT_BUFFERS = ("result.kappa",)
 
 def _require_numpy() -> None:
     if _np is None:  # pragma: no cover - exercised on numpy-free installs
-        raise RuntimeError(
+        raise MissingDependencyError(
             "the on-disk bundle store requires numpy; install the 'numpy' extra"
         )
 
@@ -107,7 +120,7 @@ def _require_numpy() -> None:
 # ----------------------------------------------------------------------
 # label tables
 # ----------------------------------------------------------------------
-def _identity_labels(labels) -> bool:
+def _identity_labels(labels: Sequence[Any]) -> bool:
     return (
         isinstance(labels, range)
         and labels.start == 0
@@ -115,7 +128,9 @@ def _identity_labels(labels) -> bool:
     )
 
 
-def _encode_labels(labels, buffer_name: str, writer) -> Dict[str, Any]:
+def _encode_labels(
+    labels: Sequence[Any], buffer_name: str, writer: Callable[[str, Any], None]
+) -> Dict[str, Any]:
     """Persist a vertex-label table; returns its manifest descriptor.
 
     Three encodings: ``identity`` (labels are ``0..n-1``, nothing stored),
@@ -140,7 +155,7 @@ def _encode_labels(labels, buffer_name: str, writer) -> Dict[str, Any]:
     )
 
 
-def _decode_labels(spec: Dict[str, Any], loader):
+def _decode_labels(spec: Dict[str, Any], loader: Callable[[str], Any]) -> Any:
     kind = spec.get("kind")
     if kind == "identity":
         return range(int(spec["n"]))
@@ -154,7 +169,7 @@ def _decode_labels(spec: Dict[str, Any], loader):
     raise StoreFormatError(f"unknown label encoding {kind!r} in manifest")
 
 
-def _clique_table(space: CSRSpace):
+def _clique_table(space: CSRSpace) -> Tuple[Any, Sequence[Any]]:
     """``(ids, labels)`` of a space's clique table, building one if needed.
 
     A :class:`CliqueArrayView` already *is* an id table plus a label table.
@@ -452,7 +467,7 @@ class Bundle:
     # ------------------------------------------------------------------
     # buffer access
     # ------------------------------------------------------------------
-    def load_array(self, name: str):
+    def load_array(self, name: str) -> Any:
         """Open buffer ``name`` as a read-only memmap (cached).
 
         dtype and shape are checked against the manifest, and the file size
@@ -543,7 +558,7 @@ class Bundle:
         return self._space
 
     @property
-    def kappa(self):
+    def kappa(self) -> Any:
         """The κ array as a read-only int64 memmap (point lookups are O(1))."""
         self._component("result")
         return self.load_array("result.kappa")
@@ -577,7 +592,7 @@ class Bundle:
         return self._result
 
     @property
-    def index(self):
+    def index(self) -> "HierarchyIndex":
         """The stored hierarchy interval index (memmap-backed arrays)."""
         if self._index is None:
             from repro.core.intervals import HierarchyIndex
@@ -623,7 +638,7 @@ class Bundle:
             raise KeyError(tuple(clique))
         return int(self.kappa[index])
 
-    def _label_id_map(self, spec) -> Dict[Any, int]:
+    def _label_id_map(self, spec: Dict[str, Any]) -> Dict[Any, int]:
         if self._label_ids is None:
             labels = _decode_labels(spec["labels"], self.load_array)
             if isinstance(labels, range):
@@ -649,7 +664,7 @@ class Bundle:
         return " — ".join(parts)
 
 
-def _as_plain(labels):
+def _as_plain(labels: Iterable[Any]) -> Iterable[Any]:
     """Iterate a label table yielding plain Python scalars."""
     if hasattr(labels, "tolist"):
         return labels.tolist()

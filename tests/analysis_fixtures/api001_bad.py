@@ -1,0 +1,11 @@
+"""API001 bad: routing parameters accepted, then silently dropped."""
+
+from repro.core.decomposition import nucleus_decomposition
+
+
+def run_report(graph, r, s, backend="auto", parallel=None):
+    return nucleus_decomposition(graph, r, s)
+
+
+def run_half_wired(graph, r, s, backend="auto", parallel=None):
+    return nucleus_decomposition(graph, r, s, backend=backend)

@@ -1,0 +1,25 @@
+"""API001 good: routing parameters reach nucleus_decomposition."""
+
+from repro.core.decomposition import nucleus_decomposition
+
+
+def run_report(graph, r, s, backend="auto", parallel=None):
+    return nucleus_decomposition(graph, r, s, backend=backend, parallel=parallel)
+
+
+def run_forwarded(graph, r, s, **options):
+    return nucleus_decomposition(graph, r, s, **options)
+
+
+def run_splatted(graph, r, s, backend="auto", parallel=None, **extra):
+    options = {"backend": backend, "parallel": parallel}
+    return nucleus_decomposition(graph, r, s, **options)
+
+
+def _private_helper(graph, r, s, backend="auto"):
+    # private helpers are outside the public-surface contract
+    return nucleus_decomposition(graph, r, s)
+
+
+def no_routing(graph, r, s):
+    return nucleus_decomposition(graph, r, s)

@@ -1,0 +1,10 @@
+"""ARR001 bad: allocators guessing their dtype (analysed under core/)."""
+
+import numpy as np
+
+
+def build(n):
+    offsets = np.zeros(n + 1)
+    ids = np.arange(n)
+    table = np.array([[0, 1], [1, 0]])
+    return offsets, ids, table

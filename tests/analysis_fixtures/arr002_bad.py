@@ -1,0 +1,10 @@
+"""ARR002 bad: explicit non-int64 dtypes in the persisted tier (store/)."""
+
+import numpy as np
+
+
+def persist(values, raw):
+    narrow = np.asarray(values, dtype=np.int32)
+    floats = np.zeros(len(values), dtype=np.float64)
+    decoded = np.frombuffer(raw, dtype="<i4")
+    return narrow, floats, decoded

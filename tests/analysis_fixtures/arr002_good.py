@@ -1,0 +1,12 @@
+"""ARR002 good: the persisted tier stays int64 end to end (store/)."""
+
+import numpy as np
+
+
+def persist(values, raw):
+    wide = np.asarray(values, dtype=np.int64)
+    zeros = np.zeros(len(values), dtype="q")
+    decoded = np.frombuffer(raw, dtype="<i8")
+    # no dtype at all is ARR001's business, not ARR002's
+    view = np.asarray(values)
+    return wide, zeros, decoded, view

@@ -1,0 +1,10 @@
+"""ERR001 bad: anonymous raises and a bare except in a library path."""
+
+
+def load(path):
+    if path is None:
+        raise RuntimeError("no path given")
+    try:
+        return path.read_text()
+    except:
+        raise Exception("unreadable")

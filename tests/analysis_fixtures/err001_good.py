@@ -1,0 +1,12 @@
+"""ERR001 good: the taxonomy is raised, exceptions are caught narrowly."""
+
+from repro.resilience.errors import StoreFormatError
+
+
+def load(path):
+    if path is None:
+        raise StoreFormatError("no path given")
+    try:
+        return path.read_text()
+    except OSError as exc:
+        raise StoreFormatError(f"unreadable: {exc}") from exc

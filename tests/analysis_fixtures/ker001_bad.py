@@ -1,0 +1,13 @@
+"""KER001 bad: interpreted per-element Python inside a @kernel function."""
+
+from repro.core.kernels import kernel
+
+
+@kernel
+def rotten_sweep(tau, out, lo, hi):
+    values = tau.tolist()
+    for i in range(lo, hi):
+        out[i] = values[i]
+    lookup = dict()
+    squares = {v * v for v in values}
+    return lookup, squares

@@ -1,0 +1,19 @@
+"""KER001 good: the kernel stays vectorised; helpers are unconstrained."""
+
+import numpy as np
+
+from repro.core.kernels import kernel
+
+
+@kernel
+def clean_sweep(prev, nxt, lo, hi):
+    nxt[lo:hi] = np.minimum(prev[lo:hi], nxt[lo:hi])
+    return int((nxt != prev).sum())
+
+
+def plain_helper(values):
+    # not @kernel: interpreted Python is perfectly fine here
+    out = []
+    for i in range(len(values)):
+        out.append(values[i])
+    return out

@@ -1,0 +1,9 @@
+"""RES001 bad: a created segment with no release on the failure paths."""
+
+from multiprocessing import shared_memory
+
+
+def leak_on_error(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    header = bytes(shm.buf[:8])  # any raise here orphans the segment
+    return shm.name, header

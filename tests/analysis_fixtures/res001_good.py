@@ -1,0 +1,31 @@
+"""RES001 good: every create=True is guarded or handed to a cleanup owner."""
+
+from multiprocessing import shared_memory
+
+
+def guarded(size):
+    try:
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        return bytes(shm.buf[:8])
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+class Arena:
+    def __init__(self):
+        self._segments = []
+
+    def create(self, size):
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        self._segments.append(shm)
+        return shm
+
+
+def adopted(arena, size):
+    return arena.adopt(shared_memory.SharedMemory(create=True, size=size))
+
+
+def attach_only(name):
+    # attaching (no create=True) does not own the segment: never flagged
+    return shared_memory.SharedMemory(name=name)
