@@ -100,6 +100,7 @@ def and_decomposition(
     reference_kappa: Optional[List[int]] = None,
     on_iteration: Optional[Callable[[int, List[int]], None]] = None,
     backend: str = "auto",
+    engine: str = "auto",
 ) -> DecompositionResult:
     """Run the asynchronous local algorithm until convergence.
 
@@ -125,8 +126,20 @@ def and_decomposition(
         ``"auto"`` (default) picks CSR for large spaces.  κ is identical
         either way (the test-suite asserts it); only speed and the
         operation counters differ.
+    engine:
+        CSR execution tier, forwarded to
+        :func:`repro.core.csr.and_decomposition_csr` — ``"python"``,
+        ``"numpy"`` (frontier-batched), ``"numba"`` (JIT per-visit, falls
+        back to python), or ``"auto"``.  Passing a non-default engine
+        forces the CSR backend, so it cannot be combined with
+        ``backend="dict"``.
     """
-    space, resolved = resolve_space_for_backend(source, r, s, backend)
+    if engine != "auto" and backend not in ("auto", "csr"):
+        raise ValueError(
+            f"engine={engine!r} requires the csr backend, got backend={backend!r}"
+        )
+    request = "csr" if engine != "auto" else backend
+    space, resolved = resolve_space_for_backend(source, r, s, request)
     if resolved == "csr":
         return and_decomposition_csr(
             space,
@@ -138,6 +151,7 @@ def and_decomposition(
             record_history=record_history,
             reference_kappa=reference_kappa,
             on_iteration=on_iteration,
+            engine=engine,
         )
     n = len(space)
     tau = space.s_degrees()

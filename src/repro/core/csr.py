@@ -30,6 +30,7 @@ asserts property-style.
 
 from __future__ import annotations
 
+import importlib.util
 import os
 import time
 from array import array
@@ -62,6 +63,8 @@ __all__ = [
     "AUTO_CSR_THRESHOLD_ENV",
     "auto_csr_threshold",
     "HAVE_NUMPY",
+    "HAVE_NUMBA",
+    "ENGINES",
     "estimate_r_clique_count",
     "resolve_backend",
     "resolve_process_backend",
@@ -73,8 +76,21 @@ __all__ = [
 
 HAVE_NUMPY = _np is not None
 
+#: Whether the optional numba extra is importable (the JIT itself compiles
+#: lazily on first use; see :func:`_numba_sweep`).  numba without numpy is
+#: not a usable configuration, so numpy-free installs report ``False``.
+HAVE_NUMBA = HAVE_NUMPY and importlib.util.find_spec("numba") is not None
+
 #: Valid values of the ``backend=`` parameter accepted by the decompositions.
 BACKENDS = ("auto", "dict", "csr")
+
+#: Valid values of the ``engine=`` parameter of the AND kernels: the CSR
+#: sweep comes in three tiers — ``"python"`` (per-visit interpreted loop,
+#: the exact dict-backend trajectory), ``"numpy"`` (frontier-batched array
+#: passes; same κ fixed point, different iteration counts) and ``"numba"``
+#: (JIT-compiled per-visit loop; exact trajectory at compiled speed).
+#: ``"auto"`` picks per request; see :func:`_resolve_and_engine`.
+ENGINES = ("auto", "python", "numpy", "numba")
 
 #: Fallback value of the ``backend="auto"`` switch-over point (in r-cliques):
 #: below the threshold the one-off flattening cost outweighs the
@@ -1111,6 +1127,78 @@ def _h_below(rho_values: List[int], current: int) -> int:
     return 0
 
 
+#: Ordering names accepted by :func:`repro.core.asynd.processing_order`;
+#: the batched engine validates (then ignores) them without paying for the
+#: permutation it would not use.
+_ORDER_NAMES = frozenset(
+    {"natural", "degree", "degree_desc", "random", "kappa", "peel"}
+)
+
+
+def _make_converged_counter(
+    reference_kappa: Optional[List[int]], n: int
+) -> Callable[[Sequence[int]], int]:
+    """Per-iteration convergence counter against a reference κ array.
+
+    Vectorised when numpy is available — the interpreted ``sum(...)`` over
+    all ``n`` cliques used to dominate instrumented kernel timings — with
+    the original scan as the numpy-free fallback.
+    """
+    if reference_kappa is None:
+        return lambda tau: -1
+    if _np is not None:
+        ref = _np.asarray(reference_kappa, dtype=_np.int64)
+        return lambda tau: int((_np.asarray(tau, dtype=_np.int64) == ref).sum())
+    ref_list = list(reference_kappa)
+    return lambda tau: sum(1 for i in range(n) if tau[i] == ref_list[i])
+
+
+def _resolve_and_engine(
+    engine: str,
+    *,
+    order,
+    record_history: bool,
+    reference_kappa,
+    on_iteration,
+    max_iterations,
+) -> str:
+    """Resolve an ``engine=`` argument to the tier that will actually run.
+
+    ``"auto"`` routes *trajectory-sensitive* requests — recorded history,
+    per-iteration callbacks, reference-κ instrumentation, iteration caps,
+    or any non-natural processing order — to a per-visit engine, because
+    only the per-visit schedule reproduces the dict backend's exact τ
+    trajectory (numba-JIT when importable, interpreted otherwise).  Plain
+    fixed-point requests take the batched numpy kernel, the fastest tier.
+    An explicit ``"numba"`` request without numba installed falls back to
+    the pure-Python per-visit loop (identical trajectory, no JIT) — the
+    extra is optional by design; an explicit ``"numpy"`` without numpy is
+    an error because no fallback computes the same batched schedule.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if engine == "python":
+        return "python"
+    if engine == "numpy":
+        if _np is None:
+            raise MissingDependencyError("engine='numpy' requires numpy")
+        return "numpy"
+    if engine == "numba":
+        return "numba" if HAVE_NUMBA else "python"
+    trajectory_sensitive = (
+        record_history
+        or on_iteration is not None
+        or reference_kappa is not None
+        or max_iterations is not None
+        or not (order is None or order == "natural")
+    )
+    if trajectory_sensitive:
+        return "numba" if HAVE_NUMBA else "python"
+    if _np is not None:
+        return "numpy"
+    return "python"
+
+
 def and_decomposition_csr(
     source: Union[GraphSource, NucleusSpace, CSRSpace],
     r: Optional[int] = None,
@@ -1124,12 +1212,34 @@ def and_decomposition_csr(
     record_history: bool = False,
     reference_kappa: Optional[List[int]] = None,
     on_iteration: Optional[Callable[[int, List[int]], None]] = None,
+    engine: str = "auto",
 ) -> DecompositionResult:
     """Array-native AND (Algorithm 3) over a :class:`CSRSpace`.
 
-    Semantics match :func:`repro.core.asynd.and_decomposition` exactly — same
-    τ trajectory, same per-iteration stats — with three kernel-level
-    optimisations on top of the flat-array layout:
+    The sweep runs on one of three kernel tiers, selected by ``engine``:
+
+    * ``"python"`` — the per-visit interpreted loop.  Semantics match
+      :func:`repro.core.asynd.and_decomposition` exactly: same τ
+      trajectory, same per-iteration stats.
+    * ``"numpy"`` — the frontier-batched kernel
+      (:func:`_and_csr_numpy`): every pass gathers the ρ segments of the
+      whole active frontier at once, runs the Section 4.4 sustainability
+      check and the segment h-index as one lexsort + prefix-count
+      reduction, scatters τ drops back into the maintained ρ array with
+      ``np.minimum.at`` and computes the next frontier from the neighbour
+      CSR.  κ is the same unique fixed point, but the schedule is Jacobi
+      *within* a pass, so iteration counts and τ trajectories differ from
+      the per-visit engines; ``order``/``seed``/``kappa_hint`` are
+      validated and then ignored (the fixed point is order-independent).
+    * ``"numba"`` — the per-visit loop JIT-compiled by the optional numba
+      extra (:func:`_and_csr_numba`): the exact python-engine trajectory
+      at compiled speed.  Falls back to the pure-Python loop when numba
+      is not importable.
+
+    ``"auto"`` (default) resolves per request — see
+    :func:`_resolve_and_engine` — and ``operations["engine"]`` records the
+    tier that ran.  All per-visit tiers share three optimisations on top
+    of the flat-array layout (the batched tier keeps the first and third):
 
     * **incremental ρ maintenance**: because τ never increases, the per-
       context minima only ever decrease, so the kernel keeps a flat ``rho``
@@ -1145,9 +1255,55 @@ def and_decomposition_csr(
     * a clique whose τ reached 0 is never rescanned (τ is non-increasing,
       it can never change again), so its contexts stop being charged.
     """
+    space = _as_csr(source, r, s)
+    resolved = _resolve_and_engine(
+        engine,
+        order=order,
+        record_history=record_history,
+        reference_kappa=reference_kappa,
+        on_iteration=on_iteration,
+        max_iterations=max_iterations,
+    )
+    if resolved == "numpy":
+        if isinstance(order, str) and order not in _ORDER_NAMES:
+            raise ValueError(f"unknown ordering {order!r}")
+        return _and_csr_numpy(
+            space,
+            notification=notification,
+            max_iterations=max_iterations,
+            record_history=record_history,
+            reference_kappa=reference_kappa,
+            on_iteration=on_iteration,
+        )
+    runner = _and_csr_numba if resolved == "numba" else _and_csr_python
+    return runner(
+        space,
+        order=order,
+        seed=seed,
+        kappa_hint=kappa_hint,
+        notification=notification,
+        max_iterations=max_iterations,
+        record_history=record_history,
+        reference_kappa=reference_kappa,
+        on_iteration=on_iteration,
+    )
+
+
+def _and_csr_python(
+    space: CSRSpace,
+    *,
+    order=None,
+    seed: Optional[int] = None,
+    kappa_hint: Optional[List[int]] = None,
+    notification: bool = True,
+    max_iterations: Optional[int] = None,
+    record_history: bool = False,
+    reference_kappa: Optional[List[int]] = None,
+    on_iteration: Optional[Callable[[int, List[int]], None]] = None,
+) -> DecompositionResult:
+    """The per-visit interpreted AND engine (see :func:`and_decomposition_csr`)."""
     from repro.core.asynd import processing_order
 
-    space = _as_csr(source, r, s)
     n = len(space)
     stride = space.stride
     # kernel-local plain lists: int indexing on lists is the fastest pure-
@@ -1187,6 +1343,7 @@ def and_decomposition_csr(
     rho_evaluations = 0
     h_calls = 0
     skipped_total = 0
+    count_converged = _make_converged_counter(reference_kappa, n)
 
     def finish_iteration(iteration, updated, processed, skipped, max_change):
         nonlocal skipped_total, converged
@@ -1196,11 +1353,7 @@ def and_decomposition_csr(
             history.append(list(tau))
         if on_iteration is not None:
             on_iteration(iteration, tau)
-        converged_count = (
-            sum(1 for i in range(n) if tau[i] == reference_kappa[i])
-            if reference_kappa is not None
-            else -1
-        )
+        converged_count = count_converged(tau)
         stats.append(
             IterationStats(
                 iteration=iteration,
@@ -1274,6 +1427,427 @@ def and_decomposition_csr(
             "h_index_calls": h_calls,
             "skipped_cliques": skipped_total,
             "backend": "csr",
+            "engine": "python",
+        },
+    )
+
+
+@kernel
+def _and_csr_numpy(
+    space: CSRSpace,
+    *,
+    notification: bool,
+    max_iterations: Optional[int],
+    record_history: bool,
+    reference_kappa: Optional[List[int]],
+    on_iteration: Optional[Callable[[int, List[int]], None]],
+) -> DecompositionResult:
+    """Frontier-batched AND: each pass sweeps the whole active set at once.
+
+    Per pass, over the frontier ``F`` (active cliques with τ > 0):
+
+    1. *gather* — the maintained ρ segments of every clique in ``F`` are
+       pulled out with one repeat/arange segment-bookkeeping step (the same
+       idiom :func:`_snd_csr_numpy` uses for its fixed segments, rebuilt
+       here per pass because the frontier shrinks);
+    2. *reduce* — a single comparison + ``bincount`` runs the Section 4.4
+       sustainability check over every segment at once (a clique with at
+       least τ values ≥ τ keeps its τ, exactly the per-visit early exit,
+       vectorised); only the failed segments then pay for the h-index
+       reduction — one sort of a packed ``(segment, -ρ)`` key plus a
+       prefix-count ``bincount``, clamped with the current τ;
+    3. *scatter* — τ drops are pushed into the maintained ρ array through
+       the inverse incidence with ``np.minimum.at`` (duplicate context
+       targets make a plain fancy assignment incorrect), preserving the
+       incremental-ρ optimisation of the per-visit engines;
+    4. *frontier* — the next active set is the union of the changed
+       cliques' neighbour rows, one boolean scatter over the neighbour CSR
+       (the dedup a ``unique``/``bincount`` would do falls out of the
+       idempotent flag writes).
+
+    The batch uses the pass-start τ (Jacobi within a pass, Gauss–Seidel
+    across passes), so iteration counts differ from the per-visit engines;
+    κ is the same unique fixed point, which the property tests assert
+    against the dict backend.  Cliques at τ = 0 never re-enter the
+    frontier (never-rescan-at-0), and the counters stay meaningful per
+    batch: ``rho_evaluations`` charges the gathered context total per
+    pass, ``h_index_calls`` the cliques whose sustainability check failed
+    (mirroring the per-visit engines, which only compute h on failure).
+    """
+    n = len(space)
+    stride = space.stride
+    # read-only views over the flat int64 buffers (the space outlives the
+    # sweep; only tau/rho/active below are ever written)
+    ctx_off = _np.frombuffer(space.ctx_offsets, dtype=_np.int64)
+    members = _np.frombuffer(space.ctx_members, dtype=_np.int64)
+    nbr_off = _np.frombuffer(space.nbr_offsets, dtype=_np.int64)
+    nbr_mem = _np.frombuffer(space.nbr_members, dtype=_np.int64)
+    inv_offsets, inv_ids = space.member_contexts()
+    inv_off = _np.frombuffer(inv_offsets, dtype=_np.int64)
+    inv = _np.frombuffer(inv_ids, dtype=_np.int64)
+    total = int(ctx_off[n]) if n else 0
+    degrees = ctx_off[1:] - ctx_off[:-1]
+    # packed sort-key base for the h-index reduction: every ρ is bounded by
+    # the maximum context count, so ρ < pack always holds
+    pack = int(degrees.max(initial=0)) + 2
+    tau = degrees.copy()
+    if total:
+        rho = tau[members.reshape(total, stride)].min(axis=1)
+    else:
+        rho = _np.empty(0, dtype=_np.int64)
+    # kernel-local frontier scratch, never a shared/persisted buffer
+    active = _np.ones(n, dtype=bool)  # repro: noqa[ARR002]
+    ref = (
+        _np.asarray(reference_kappa, dtype=_np.int64)
+        if reference_kappa is not None
+        else None
+    )
+    # tolist below: history/callback instrumentation, not the sweep itself
+    history: Optional[List[List[int]]] = (
+        [tau.tolist()] if record_history else None  # repro: noqa[KER001]
+    )
+    stats: List[IterationStats] = []
+    rho_evaluations = 0
+    h_calls = 0
+    skipped_total = 0
+
+    iteration = 0
+    converged = n == 0
+    while not converged:
+        if max_iterations is not None and iteration >= max_iterations:
+            break
+        iteration += 1
+        # `processed`/`skipped` mirror the per-visit engines: only a
+        # notification skip counts as skipped; τ = 0 cliques are "visited"
+        # (and retired from the active set) even though the batched pass
+        # never gathers their segments
+        if notification:
+            cand = _np.flatnonzero(active)
+            processed = len(cand)
+            frontier = cand[tau[cand] > 0]
+            active[cand[tau[cand] == 0]] = False
+        else:
+            processed = n
+            frontier = _np.flatnonzero(tau > 0)
+        m = len(frontier)
+        skipped_total += n - processed
+        updated = 0
+        max_change = 0
+        if m:
+            deg = degrees[frontier]
+            tot = int(deg.sum())
+            rho_evaluations += tot
+            cs = _np.cumsum(deg) - deg
+            rep = _np.repeat(_np.arange(m, dtype=_np.int64), deg)
+            pos = _np.arange(tot, dtype=_np.int64) - cs[rep]
+            seg_rho = rho[ctx_off[frontier][rep] + pos]
+            cur = tau[frontier]
+            # Section 4.4 sustainability, batched: clique f keeps τ iff at
+            # least τ of its segment's ρ values are ≥ τ (h ≥ τ ⟺ that
+            # count ≥ τ); everything else must drop this pass
+            sustained = _np.bincount(rep[seg_rho >= cur[rep]], minlength=m)
+            drop_mask = sustained < cur
+            changed = frontier[drop_mask]
+            updated = len(changed)
+            h_calls += updated
+            if notification:
+                active[frontier] = False
+            if updated:
+                # h-index for the failed segments only.  Whole segments are
+                # kept, so positions within kept segments stay contiguous
+                # and `pos[sel]` doubles as the sorted rank sequence.
+                sel = drop_mask[rep]
+                remap = _np.cumsum(drop_mask) - 1
+                rep2 = remap[rep[sel]]
+                if updated * pack <= 2**62:
+                    # single packed-key sort (segment ascending, ρ
+                    # descending), ρ decoded arithmetically afterwards —
+                    # cheaper than argsort + a fancy gather
+                    key = rep2 * pack + (pack - 1 - seg_rho[sel])
+                    key.sort(kind="stable")
+                    sorted_rho = pack - 1 - (key % pack)
+                else:  # pragma: no cover - needs ~2^31 cliques
+                    sub_rho = seg_rho[sel]
+                    sorted_rho = sub_rho[_np.lexsort((-sub_rho, rep2))]
+                # rep2 is non-decreasing, so the sort leaves it unpermuted;
+                # h = #{k : sorted_rho[k] >= k + 1} per segment
+                qualifies = sorted_rho >= pos[sel] + 1
+                h = _np.bincount(rep2[qualifies], minlength=updated)
+                new_values = _np.minimum(h, cur[drop_mask])
+                max_change = int((cur[drop_mask] - new_values).max(initial=0))
+                tau[changed] = new_values
+                # push the drops into every context the changed cliques
+                # participate in; minimum.at because several changed cliques
+                # can share a context slot
+                ideg = inv_off[changed + 1] - inv_off[changed]
+                itot = int(ideg.sum())
+                if itot:
+                    ics = _np.cumsum(ideg) - ideg
+                    irep = _np.repeat(
+                        _np.arange(len(changed), dtype=_np.int64), ideg
+                    )
+                    iidx = inv_off[changed][irep] + (
+                        _np.arange(itot, dtype=_np.int64) - ics[irep]
+                    )
+                    _np.minimum.at(rho, inv[iidx], new_values[irep])
+                if notification:
+                    nd = nbr_off[changed + 1] - nbr_off[changed]
+                    ntot = int(nd.sum())
+                    if ntot:
+                        ncs = _np.cumsum(nd) - nd
+                        nrep = _np.repeat(
+                            _np.arange(len(changed), dtype=_np.int64), nd
+                        )
+                        nidx = nbr_off[changed][nrep] + (
+                            _np.arange(ntot, dtype=_np.int64) - ncs[nrep]
+                        )
+                        active[nbr_mem[nidx]] = True
+        converged = updated == 0
+        if history is not None:
+            history.append(tau.tolist())  # repro: noqa[KER001]
+        if on_iteration is not None:
+            on_iteration(iteration, tau.tolist())  # repro: noqa[KER001]
+        converged_count = int((tau == ref).sum()) if ref is not None else -1
+        stats.append(
+            IterationStats(
+                iteration=iteration,
+                updated=updated,
+                processed=processed,
+                skipped=n - processed,
+                max_change=max_change,
+                converged_count=converged_count,
+            )
+        )
+
+    return DecompositionResult.from_space(
+        space,
+        algorithm="and",
+        # result materialisation (κ must be a Python list), not the sweep
+        kappa=tau.tolist(),  # repro: noqa[KER001]
+        iterations=iteration,
+        converged=converged,
+        tau_history=history,
+        iteration_stats=stats,
+        operations={
+            "rho_evaluations": rho_evaluations,
+            "h_index_calls": h_calls,
+            "skipped_cliques": skipped_total,
+            "backend": "csr",
+            "engine": "numpy",
+        },
+    )
+
+
+def _and_sweep_pervisit(
+    perm, tau, rho, ctx_off, inv_off, inv_ids, nbr_off, nbr_mem, active,
+    use_notification,
+):
+    """One per-visit AND pass over flat int64 arrays (numba-compilable).
+
+    The same body runs JIT-compiled (:func:`_numba_sweep`) or interpreted
+    (the parity path of the tests, and the graceful fallback when numba
+    breaks at import time); either way it reproduces the python engine's
+    exact per-visit τ trajectory — sustainability early exit, clamped
+    counting h-index, incremental ρ scatter, neighbour notification.
+    Deliberately *not* an ``@kernel``: its whole point is the per-visit
+    Gauss–Seidel loop that the batched kernel cannot express.
+    """
+    updated = 0
+    processed = 0
+    max_change = 0
+    rho_evals = 0
+    h_calls = 0
+    for k in range(perm.shape[0]):
+        i = perm[k]
+        if use_notification and active[i] == 0:
+            continue
+        processed += 1
+        current = tau[i]
+        if current == 0:
+            # τ is non-increasing: a clique at 0 can never change again
+            active[i] = 0
+            continue
+        start = ctx_off[i]
+        end = ctx_off[i + 1]
+        rho_evals += end - start
+        # sustainability scan with early exit over the maintained ρ array
+        need = current
+        for c in range(start, end):
+            if rho[c] >= current:
+                need -= 1
+                if need == 0:
+                    break
+        if need != 0:
+            # not sustained: h is < current, so the clique must drop;
+            # counting h-index clamped to current - 1 (same as _h_below)
+            limit = current - 1
+            new_value = 0
+            if limit > 0:
+                counts = _np.zeros(limit + 1, dtype=_np.int64)
+                for c in range(start, end):
+                    v = rho[c]
+                    if v > limit:
+                        v = limit
+                    counts[v] += 1
+                running = 0
+                for h in range(limit, 0, -1):
+                    running += counts[h]
+                    if running >= h:
+                        new_value = h
+                        break
+            h_calls += 1
+            tau[i] = new_value
+            updated += 1
+            change = current - new_value
+            if change > max_change:
+                max_change = change
+            for p in range(inv_off[i], inv_off[i + 1]):
+                ctx = inv_ids[p]
+                if new_value < rho[ctx]:
+                    rho[ctx] = new_value
+            if use_notification:
+                for p in range(nbr_off[i], nbr_off[i + 1]):
+                    active[nbr_mem[p]] = 1
+        active[i] = 0
+    return updated, processed, max_change, rho_evals, h_calls
+
+
+#: Memoised JIT compilation state of :func:`_and_sweep_pervisit`.
+_NUMBA_SWEEP: Optional[Callable] = None
+_NUMBA_FAILED = False
+
+
+def _numba_sweep() -> Optional[Callable]:
+    """The JIT-compiled per-visit sweep, or ``None`` if numba cannot load.
+
+    Importing numba costs on the order of a second, so the compilation is
+    lazy and memoised per process; a numba that is installed but broken
+    (unsupported Python, missing llvmlite) degrades to the interpreted
+    sweep instead of failing the decomposition.
+    """
+    global _NUMBA_SWEEP, _NUMBA_FAILED
+    if _NUMBA_SWEEP is None and not _NUMBA_FAILED:
+        try:  # pragma: no cover - exercised only with the numba extra
+            import numba
+
+            _NUMBA_SWEEP = numba.njit(cache=True)(_and_sweep_pervisit)
+        except Exception:  # pragma: no cover - broken optional extra
+            _NUMBA_FAILED = True
+    return _NUMBA_SWEEP
+
+
+def _and_csr_numba(
+    space: CSRSpace,
+    *,
+    order=None,
+    seed: Optional[int] = None,
+    kappa_hint: Optional[List[int]] = None,
+    notification: bool = True,
+    max_iterations: Optional[int] = None,
+    record_history: bool = False,
+    reference_kappa: Optional[List[int]] = None,
+    on_iteration: Optional[Callable[[int, List[int]], None]] = None,
+    _interpreted: bool = False,
+) -> DecompositionResult:
+    """Per-visit AND over numpy arrays, JIT-compiled when numba is present.
+
+    Runs :func:`_and_sweep_pervisit` once per iteration, so history,
+    per-iteration stats and the τ trajectory are identical to the python
+    engine's; only the inner loop's execution mode differs.  With
+    ``_interpreted=True`` (tests) the sweep body runs uncompiled, making
+    trajectory parity checkable on installs without numba;
+    ``operations["jit"]`` records whether the compiled sweep actually ran.
+    """
+    from repro.core.asynd import processing_order
+
+    n = len(space)
+    stride = space.stride
+    ctx_off = _np.frombuffer(space.ctx_offsets, dtype=_np.int64).copy()
+    members = _np.frombuffer(space.ctx_members, dtype=_np.int64).copy()
+    nbr_off = _np.frombuffer(space.nbr_offsets, dtype=_np.int64).copy()
+    nbr_mem = _np.frombuffer(space.nbr_members, dtype=_np.int64).copy()
+    inv_offsets, inv_ids = space.member_contexts()
+    inv_off = _np.frombuffer(inv_offsets, dtype=_np.int64).copy()
+    inv = _np.frombuffer(inv_ids, dtype=_np.int64).copy()
+    total = int(ctx_off[n]) if n else 0
+    tau = ctx_off[1:] - ctx_off[:-1]
+    if total:
+        rho = tau[members.reshape(total, stride)].min(axis=1)
+    else:
+        rho = _np.empty(0, dtype=_np.int64)
+    perm = _np.asarray(
+        processing_order(
+            space,
+            order if order is not None else "natural",
+            seed=seed,
+            kappa_hint=kappa_hint,
+        ),
+        dtype=_np.int64,
+    )
+    # kernel-local flag scratch (uint8 so the JIT sweep indexes bytes),
+    # never a shared/persisted buffer
+    active = _np.ones(n, dtype=_np.uint8)  # repro: noqa[ARR002]
+    sweep = None if _interpreted else _numba_sweep()
+    jit = sweep is not None
+    if sweep is None:
+        sweep = _and_sweep_pervisit
+    ref = (
+        _np.asarray(reference_kappa, dtype=_np.int64)
+        if reference_kappa is not None
+        else None
+    )
+    history: Optional[List[List[int]]] = [tau.tolist()] if record_history else None
+    stats: List[IterationStats] = []
+    rho_evaluations = 0
+    h_calls = 0
+    skipped_total = 0
+
+    iteration = 0
+    converged = n == 0
+    while not converged:
+        if max_iterations is not None and iteration >= max_iterations:
+            break
+        iteration += 1
+        updated, processed, max_change, rho_inc, h_inc = sweep(
+            perm, tau, rho, ctx_off, inv_off, inv, nbr_off, nbr_mem, active,
+            notification,
+        )
+        updated = int(updated)
+        rho_evaluations += int(rho_inc)
+        h_calls += int(h_inc)
+        skipped_total += n - int(processed)
+        converged = updated == 0
+        if history is not None:
+            history.append(tau.tolist())
+        if on_iteration is not None:
+            on_iteration(iteration, tau.tolist())
+        converged_count = int((tau == ref).sum()) if ref is not None else -1
+        stats.append(
+            IterationStats(
+                iteration=iteration,
+                updated=updated,
+                processed=int(processed),
+                skipped=n - int(processed),
+                max_change=int(max_change),
+                converged_count=converged_count,
+            )
+        )
+
+    return DecompositionResult.from_space(
+        space,
+        algorithm="and",
+        kappa=[int(v) for v in tau],
+        iterations=iteration,
+        converged=converged,
+        tau_history=history,
+        iteration_stats=stats,
+        operations={
+            "rho_evaluations": rho_evaluations,
+            "h_index_calls": h_calls,
+            "skipped_cliques": skipped_total,
+            "backend": "csr",
+            "engine": "numba",
+            "jit": int(jit),
         },
     )
 

@@ -101,7 +101,12 @@ def nucleus_decomposition(
         counters.  κ is unchanged in every recovery path.
     options:
         Forwarded to the selected algorithm (e.g. ``max_iterations``,
-        ``record_history``, ``order``, ``notification``).
+        ``record_history``, ``order``, ``notification``; for serial AND
+        also ``engine=`` selecting the CSR execution tier — see
+        :func:`repro.core.csr.and_decomposition_csr`).  The parallel
+        dispatch rejects options its runners do not support, including
+        ``engine`` (the process pool always runs its own batched chunk
+        kernel when numpy is available).
 
     Returns
     -------

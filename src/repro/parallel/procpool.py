@@ -94,7 +94,8 @@ _ITEMSIZE = 8  # array('q') / int64
 _META_ROUNDS = 0
 _META_CONVERGED = 1
 _META_UPDATES = 2
-_META_SLOTS = 3
+_META_REBALANCES = 3
+_META_SLOTS = 4
 
 # how long a shutdown waits on a worker before escalating: graceful join ->
 # terminate (SIGTERM) -> kill (SIGKILL).  A wedged worker can therefore
@@ -176,6 +177,7 @@ class WorkerSpec:
     max_iterations: Optional[int] = None
     notification: bool = True
     faults: Optional[Tuple[dict, ...]] = None
+    num_workers: int = 0
 
 
 @dataclass(frozen=True)
@@ -192,6 +194,7 @@ class JobSpec:
     notification: bool = True
     gen: int = 0
     faults: Optional[Tuple[dict, ...]] = None
+    rebalance: bool = False
 
 
 def _fire_entry_faults(spec: WorkerSpec) -> None:
@@ -290,11 +293,16 @@ def _attach(name: str, attached: List[shared_memory.SharedMemory]):
     return shm
 
 
+def _bounds_array(ranges: List[Tuple[int, int]]) -> array:
+    """Flatten contiguous chunk ranges into a bounds array of k+1 cut points."""
+    return array("q", [lo for lo, _ in ranges] + [ranges[-1][1]])
+
+
 def _create_shared_space(
     arena: SharedCSRBuffers,
     space: CSRSpace,
     degrees: array,
-    num_workers: int,
+    ranges: List[Tuple[int, int]],
     *,
     double_tau: bool,
     neighbours: bool,
@@ -302,11 +310,13 @@ def _create_shared_space(
     """Create every segment one pool run (or pool binding) needs.
 
     ``double_tau`` adds the second Jacobi buffer (SND); ``neighbours`` adds
-    the CSR neighbour relation plus the per-clique active bitmap (AND with
-    notification).  A persistent binding creates all of them so any job kind
-    can run on the same segments.
+    the CSR neighbour relation, the per-clique active bitmap (AND with
+    notification) and the shared chunk-``bounds`` cut points that dynamic
+    re-balancing rewrites between rounds.  A persistent binding creates all
+    of them so any job kind can run on the same segments.
     """
     n = len(space)
+    num_workers = len(ranges)
     arena.create_from("ctx_offsets", space.ctx_offsets)
     arena.create_from("ctx_members", space.ctx_members)
     arena.create_from("tau_a", degrees)
@@ -317,6 +327,7 @@ def _create_shared_space(
         arena.create_from("nbr_members", space.nbr_members)
         active = arena.create("active", n)
         active.buf[:n] = b"\x01" * n
+        arena.create_from("bounds", _bounds_array(ranges))
     arena.create("counts", num_workers * _ITEMSIZE)
     arena.create("proc", num_workers * _ITEMSIZE)
     arena.create("meta", _META_SLOTS * _ITEMSIZE)
@@ -336,18 +347,19 @@ def _read_int64(shm: shared_memory.SharedMemory, count: int) -> array:
 def _extract_result(arena: SharedCSRBuffers, kind: str, n: int, num_workers: int):
     """Read one finished job's outputs back out of the shared segments.
 
-    Returns ``(rounds, converged, updates_total, processed, kappa)``.  For
-    SND the final τ lives in whichever Jacobi buffer the round parity left
-    it in; AND always updates ``tau_a`` in place.
+    Returns ``(rounds, converged, updates_total, processed, rebalances,
+    kappa)``.  For SND the final τ lives in whichever Jacobi buffer the
+    round parity left it in; AND always updates ``tau_a`` in place.
     """
     meta_arr = _read_int64(arena.get("meta"), _META_SLOTS)
     rounds = meta_arr[_META_ROUNDS]
     converged = bool(meta_arr[_META_CONVERGED])
     updates_total = meta_arr[_META_UPDATES]
+    rebalances = meta_arr[_META_REBALANCES]
     processed = sum(_read_int64(arena.get("proc"), num_workers))
     final_tag = "tau_a" if kind == "and" or rounds % 2 == 0 else "tau_b"
     kappa = _read_int64(arena.get(final_tag), n).tolist()
-    return rounds, converged, updates_total, processed, kappa
+    return rounds, converged, updates_total, processed, rebalances, kappa
 
 
 # ----------------------------------------------------------------------
@@ -385,6 +397,10 @@ def _attach_views(
         views["active"] = memoryview(_attach(names["active"], attached).buf).cast("b")
     else:
         views["nbr_off"] = views["nbr_mem"] = views["active"] = None
+    if "bounds" in names:
+        views["bounds"] = memoryview(_attach(names["bounds"], attached).buf).cast("q")
+    else:
+        views["bounds"] = None
     return views
 
 
@@ -539,13 +555,156 @@ def _sweep_snd_python(ctx_off, cm, stride, prev, nxt, lo: int, hi: int) -> int:
     return updated
 
 
+@kernel
+def _make_numpy_and_sweep(views: dict, n: int, stride: int):
+    """Batched AND chunk sweep: the worker's whole frontier in one pass.
+
+    The same frontier-batched reduction as the serial
+    :func:`repro.core.csr._and_csr_numpy` — gather ρ segments with
+    repeat/arange bookkeeping, vectorised Section-4.4 sustainability check,
+    packed-key-sort h-index over the failed segments only, neighbour-flag
+    scatter — except that there is no worker-local maintained ρ array:
+    co-member τ values live in other workers' chunks, so ρ is gathered
+    straight from the live shared τ.  Elementwise int64 reads of a
+    monotonically decreasing shared array are always valid (the same
+    argument that lets the per-visit fallback read the shared view), and
+    the full-verification-sweep termination protocol in :func:`_and_job`
+    holds regardless of which published values a pass observed.
+
+    Bounds are arguments of the returned closure (not baked in like the SND
+    sweep's) so dynamic re-balancing can hand each round a different chunk.
+    """
+    ctx_off = _np.frombuffer(views["off_shm"].buf, dtype=_np.int64, count=n + 1)
+    total = int(ctx_off[n])
+    members = _np.frombuffer(
+        views["cm_shm"].buf, dtype=_np.int64, count=total * stride
+    )
+    mem2d = members.reshape(total, stride)
+    tau = _np.frombuffer(views["tau_shms"][0].buf, dtype=_np.int64, count=n)
+    if views["nbr_off"] is not None:
+        nbr_off = _np.frombuffer(views["nbr_off"], dtype=_np.int64, count=n + 1)
+        nbr_mem = _np.frombuffer(
+            views["nbr_mem"], dtype=_np.int64, count=int(nbr_off[n])
+        )
+        # byte-wide shared flags, never reinterpreted as int64 anywhere
+        act = _np.frombuffer(views["active"], dtype=_np.uint8, count=n)  # repro: noqa[ARR002]
+    else:
+        # notification disabled: the sweep is only ever called with
+        # use_active=False, so the flag/neighbour paths are unreachable
+        nbr_off = nbr_mem = act = None
+    degrees = ctx_off[1:] - ctx_off[:-1]
+    pack = int(degrees.max(initial=0)) + 2
+
+    def sweep(lo: int, hi: int, full_sweep: bool, use_active: bool):
+        if use_active:
+            if full_sweep:
+                act[lo:hi] = 0
+                frontier = lo + _np.flatnonzero(tau[lo:hi] > 0)
+                done = hi - lo
+            else:
+                flagged = lo + _np.flatnonzero(act[lo:hi])
+                act[flagged] = 0  # claim before reading any neighbour value
+                frontier = flagged[tau[flagged] > 0]
+                done = len(flagged)
+        else:
+            frontier = lo + _np.flatnonzero(tau[lo:hi] > 0)
+            done = hi - lo
+        m = len(frontier)
+        if m == 0:
+            return 0, done
+        deg = degrees[frontier]
+        cs = _np.cumsum(deg) - deg
+        tot = int(cs[-1] + deg[-1])
+        if tot == 0:
+            return 0, done
+        rep = _np.repeat(_np.arange(m, dtype=_np.int64), deg)
+        pos = _np.arange(tot, dtype=_np.int64) - cs[rep]
+        seg_rho = tau[mem2d[ctx_off[frontier][rep] + pos]].min(axis=1)
+        cur = tau[frontier]
+        sustained = _np.bincount(rep[seg_rho >= cur[rep]], minlength=m)
+        drop = sustained < cur
+        changed = frontier[drop]
+        updated = len(changed)
+        if updated == 0:
+            return 0, done
+        sel = drop[rep]
+        rep2 = (_np.cumsum(drop) - 1)[rep[sel]]
+        if updated * pack <= 2**62:
+            key = rep2 * pack + (pack - 1 - seg_rho[sel])
+            key.sort(kind="stable")
+            sorted_rho = pack - 1 - (key % pack)
+        else:  # pragma: no cover - needs ~2^31 cliques
+            sub_rho = seg_rho[sel]
+            sorted_rho = sub_rho[_np.lexsort((-sub_rho, rep2))]
+        qualifies = sorted_rho >= pos[sel] + 1
+        h = _np.bincount(rep2[qualifies], minlength=updated)
+        new_values = _np.minimum(h, cur[drop])
+        tau[changed] = new_values  # publish: own chunk only
+        if use_active:
+            nd = nbr_off[changed + 1] - nbr_off[changed]
+            ntot = int(nd.sum())
+            if ntot:
+                ncs = _np.cumsum(nd) - nd
+                nrep = _np.repeat(_np.arange(updated, dtype=_np.int64), nd)
+                nidx = nbr_off[changed][nrep] + (
+                    _np.arange(ntot, dtype=_np.int64) - ncs[nrep]
+                )
+                act[nbr_mem[nidx]] = 1  # cross-chunk notification
+        return updated, done
+
+    return sweep
+
+
+def _rebalance_bounds(bounds_mv, active_mv, ctx_off, n: int, num_workers: int) -> None:
+    """Re-split ``[0, n)`` by the surviving active weight (worker 0 only).
+
+    Each still-active clique weighs its context count plus one (the same
+    cost model as :func:`repro.core.csr.weighted_ranges`); inactive cliques
+    weigh nothing, so chunk cuts slide toward whatever region of the space
+    the frontier has contracted to.  Runs between two barriers in
+    :func:`_and_job`, so no peer reads the cut points mid-rewrite.  A dead
+    frontier (zero total weight) keeps the previous split — the round then
+    sweeps nothing anyway.
+    """
+    if _np is not None:
+        act = _np.frombuffer(active_mv, dtype=_np.uint8, count=n)  # repro: noqa[ARR002]
+        offs = _np.frombuffer(ctx_off, dtype=_np.int64, count=n + 1)
+        weights = (offs[1:] - offs[:-1] + 1) * (act != 0)
+        cum = _np.cumsum(weights)
+        grand = int(cum[-1])
+        if grand == 0:
+            return
+        targets = (grand * _np.arange(1, num_workers, dtype=_np.int64)) // num_workers
+        cuts = _np.searchsorted(cum, targets, side="left") + 1
+        for w in range(1, num_workers):
+            bounds_mv[w] = int(cuts[w - 1])
+        return
+    prefix = []
+    grand = 0
+    for i in range(n):
+        if active_mv[i]:
+            grand += ctx_off[i + 1] - ctx_off[i] + 1
+        prefix.append(grand)
+    if grand == 0:
+        return
+    w = 1
+    for i in range(n):
+        while w < num_workers and prefix[i] >= (grand * w) // num_workers:
+            bounds_mv[w] = i + 1
+            w += 1
+    while w < num_workers:  # pragma: no cover - defensive, cuts always land
+        bounds_mv[w] = n
+        w += 1
+
+
 def _and_job(views: dict, spec: WorkerSpec, job: JobSpec, barrier) -> None:
     """Asynchronous AND rounds over one *owned* chunk of a single shared τ.
 
     The worker is the only writer of ``τ[lo:hi]``; within a round it applies
-    updates in place (Gauss–Seidel over its own chunk) while neighbours in
-    other chunks are read at their latest published value (snapshotted at
-    round start — any published value is valid because τ only decreases).
+    its chunk's updates (batched numpy frontier pass when numpy is
+    available, otherwise an in-place Gauss–Seidel per-clique loop) while
+    neighbours in other chunks are read at their latest published value —
+    any published value is valid because τ only decreases.
 
     With ``job.notification`` the shared active bitmap restricts a round
     to the cliques flagged since their last scan: the flag is *claimed*
@@ -557,9 +716,16 @@ def _and_job(views: dict, spec: WorkerSpec, job: JobSpec, barrier) -> None:
     there resumes the active rounds.  Termination therefore always means a
     full sweep saw zero updates — exactly the serial criterion — so κ equals
     the serial kernels' unique fixed point regardless of flag races.
+
+    With ``job.rebalance`` every sparse (non-verification) round first
+    re-splits the chunk bounds by surviving active weight
+    (:func:`_rebalance_bounds`, one extra barrier so every worker reads the
+    same cuts); full sweeps always use the static ``spec.bounds`` so the
+    verification pass deterministically covers the whole space.  The bounds
+    partition ``[0, n)`` disjointly in every round, so the
+    single-writer-per-chunk ownership argument is unchanged.
     """
     stride = spec.stride
-    lo, hi = spec.bounds
     wid = spec.wid
     timeout = spec.barrier_timeout
     max_rounds = job.max_iterations
@@ -571,12 +737,25 @@ def _and_job(views: dict, spec: WorkerSpec, job: JobSpec, barrier) -> None:
     active = views["active"]
     nbr_off = views["nbr_off"]
     nbr_mem = views["nbr_mem"]
+    bounds_mv = views.get("bounds")
     use_active = job.notification and active is not None
+    use_numpy = _np is not None
+    if use_numpy:
+        if "and_sweep" not in views:
+            views["and_sweep"] = _make_numpy_and_sweep(views, spec.n, stride)
+        batched = views["and_sweep"]
+    can_rebalance = (
+        job.rebalance
+        and use_active
+        and bounds_mv is not None
+        and spec.num_workers > 1
+    )
 
     rounds = 0
     converged = False
     updates_total = 0
     processed = 0
+    rebalances = 0
     # the first round always sweeps everything (every flag starts raised);
     # later the flag is re-entered as the verification sweep before stopping
     full_sweep = True
@@ -584,43 +763,60 @@ def _and_job(views: dict, spec: WorkerSpec, job: JobSpec, barrier) -> None:
         if max_rounds is not None and rounds >= max_rounds:
             break
         _fire_round_faults(job, rounds)
-        if use_active and not full_sweep:
-            # sparse active round: skip the O(n) snapshot copy and read the
-            # shared view directly — any published value is valid (τ only
-            # decreases), and the few flagged cliques do not amortise a
-            # full-array copy the way a full sweep does
-            tau = tau_mv
+        if can_rebalance and not full_sweep:
+            # every worker takes this branch or none does: full_sweep is
+            # derived from the shared round totals, so the barrier count
+            # stays identical across the pool
+            if wid == 0:
+                _rebalance_bounds(
+                    bounds_mv, active, ctx_off, spec.n, spec.num_workers
+                )
+                rebalances += 1
+            barrier.wait(timeout)  # publish the new cuts before anyone reads
+            lo, hi = bounds_mv[wid], bounds_mv[wid + 1]
         else:
-            tau = tau_mv.tolist()  # latest published values, faster indexing
-        updated = 0
-        for i in range(lo, hi):
-            if use_active:
-                if not full_sweep and not active[i]:
-                    continue
-                active[i] = 0  # claim before reading any neighbour value
-            processed += 1
-            current = tau[i]
-            if current == 0:
-                continue  # τ is non-increasing: settled for good
-            rho_values = []
-            append = rho_values.append
-            for c in range(ctx_off[i], ctx_off[i + 1]):
-                b = c * stride
-                v = tau[cm[b]]
-                for j in range(b + 1, b + stride):
-                    w = tau[cm[j]]
-                    if w < v:
-                        v = w
-                append(v)
-            new_value = h_index(rho_values)
-            if new_value != current:
-                if tau is not tau_mv:
-                    tau[i] = new_value
-                tau_mv[i] = new_value  # publish immediately
-                updated += 1
+            lo, hi = spec.bounds
+        if use_numpy:
+            updated, done = batched(lo, hi, full_sweep, use_active)
+            processed += done
+        else:
+            if use_active and not full_sweep:
+                # sparse active round: skip the O(n) snapshot copy and read
+                # the shared view directly — any published value is valid
+                # (τ only decreases), and the few flagged cliques do not
+                # amortise a full-array copy the way a full sweep does
+                tau = tau_mv
+            else:
+                tau = tau_mv.tolist()  # latest published values
+            updated = 0
+            for i in range(lo, hi):
                 if use_active:
-                    for p in range(nbr_off[i], nbr_off[i + 1]):
-                        active[nbr_mem[p]] = 1  # cross-chunk notification
+                    if not full_sweep and not active[i]:
+                        continue
+                    active[i] = 0  # claim before reading neighbour values
+                processed += 1
+                current = tau[i]
+                if current == 0:
+                    continue  # τ is non-increasing: settled for good
+                rho_values = []
+                append = rho_values.append
+                for c in range(ctx_off[i], ctx_off[i + 1]):
+                    b = c * stride
+                    v = tau[cm[b]]
+                    for j in range(b + 1, b + stride):
+                        w = tau[cm[j]]
+                        if w < v:
+                            v = w
+                    append(v)
+                new_value = h_index(rho_values)
+                if new_value != current:
+                    if tau is not tau_mv:
+                        tau[i] = new_value
+                    tau_mv[i] = new_value  # publish immediately
+                    updated += 1
+                    if use_active:
+                        for p in range(nbr_off[i], nbr_off[i + 1]):
+                            active[nbr_mem[p]] = 1  # cross-chunk notification
         total = _round_sync(barrier, counts_mv, wid, updated, timeout)
         updates_total += total
         rounds += 1
@@ -636,6 +832,7 @@ def _and_job(views: dict, spec: WorkerSpec, job: JobSpec, barrier) -> None:
         meta_mv[_META_ROUNDS] = rounds
         meta_mv[_META_CONVERGED] = 1 if converged else 0
         meta_mv[_META_UPDATES] = updates_total
+        meta_mv[_META_REBALANCES] = rebalances
 
 
 def _worker_main(spec: WorkerSpec, barrier, errq) -> None:
@@ -797,7 +994,7 @@ class ProcessPoolBackend:
                 arena,
                 space,
                 degrees,
-                num_workers,
+                ranges,
                 double_tau=kind == "snd",
                 neighbours=kind == "and" and notification,
             )
@@ -817,6 +1014,7 @@ class ProcessPoolBackend:
                     kind=kind,
                     max_iterations=max_iterations,
                     notification=notification,
+                    num_workers=num_workers,
                 )
                 if injector is not None:
                     directives = injector.entry_faults(wid)
@@ -843,8 +1041,8 @@ class ProcessPoolBackend:
                     exit_codes=bad,
                 )
 
-            rounds, converged, updates_total, processed, kappa = _extract_result(
-                arena, kind, n, num_workers
+            rounds, converged, updates_total, processed, _, kappa = (
+                _extract_result(arena, kind, n, num_workers)
             )
         finally:
             _stop_processes(procs)
@@ -987,6 +1185,7 @@ class PersistentPool:
         self._errq = None
         self._num_workers = 0
         self._degree_bytes = b""
+        self._bounds_bytes = b""
         self._generation = 0
 
     # ------------------------------------------------------------------
@@ -1027,10 +1226,19 @@ class PersistentPool:
         *,
         max_iterations: Optional[int] = None,
         notification: bool = True,
+        rebalance: bool = True,
     ) -> DecompositionResult:
-        """Asynchronous AND on the persistent workers; κ matches serial."""
+        """Asynchronous AND on the persistent workers; κ matches serial.
+
+        ``rebalance=True`` (default) re-splits the chunk bounds by surviving
+        active weight at the start of every sparse round, so a frontier that
+        contracts into one region of the space stops idling the workers that
+        own the rest; it changes only who sweeps what, never κ.  Requires
+        ``notification`` (without the active bitmap there is no frontier to
+        re-split) and at least two workers; otherwise it is a no-op.
+        """
         return self._run("and", source, r, s, max_iterations=max_iterations,
-                         notification=notification)
+                         notification=notification, rebalance=rebalance)
 
     # ------------------------------------------------------------------
     def _run(
@@ -1042,6 +1250,7 @@ class PersistentPool:
         *,
         max_iterations: Optional[int],
         notification: bool,
+        rebalance: bool = False,
     ) -> DecompositionResult:
         if self._closed:
             raise PoolPoisonedError(
@@ -1077,6 +1286,7 @@ class PersistentPool:
                 max_iterations=max_iterations,
                 notification=notification,
                 gen=self._generation,
+                rebalance=rebalance,
             )
             injector = _active_faults()
             for wid, conn in enumerate(self._conns):
@@ -1096,8 +1306,8 @@ class PersistentPool:
                 with contextlib.suppress(BrokenPipeError, OSError):
                     conn.send(wjob)
             self._collect(self._generation)
-            rounds, converged, updates_total, processed, kappa = _extract_result(
-                self._arena, kind, n, self._num_workers
+            rounds, converged, updates_total, processed, rebalances, kappa = (
+                _extract_result(self._arena, kind, n, self._num_workers)
             )
             shared_nbytes = self._arena.nbytes()
         except BaseException:
@@ -1120,6 +1330,7 @@ class PersistentPool:
         }
         if kind == "and":
             operations["notification"] = notification
+            operations["rebalances"] = rebalances
         return DecompositionResult.from_space(
             space,
             algorithm=algorithm,
@@ -1146,11 +1357,12 @@ class PersistentPool:
         ])
         self._num_workers = len(ranges)
         self._degree_bytes = degrees.tobytes()
+        self._bounds_bytes = _bounds_array(ranges).tobytes()
         self._arena = SharedCSRBuffers(prefix="rp")
         try:
             # a persistent binding creates every segment any job kind needs
             _create_shared_space(
-                self._arena, space, degrees, self._num_workers,
+                self._arena, space, degrees, ranges,
                 double_tau=True, neighbours=True,
             )
             barrier = self._ctx.Barrier(self._num_workers)
@@ -1166,6 +1378,7 @@ class PersistentPool:
                     bounds=bounds,
                     wid=wid,
                     barrier_timeout=self.barrier_timeout,
+                    num_workers=self._num_workers,
                 )
                 if injector is not None:
                     entry = injector.entry_faults(wid)
@@ -1214,6 +1427,8 @@ class PersistentPool:
         ):
             arena.get(tag).buf[:nbytes] = bytes(nbytes)
         arena.get("active").buf[:n] = b"\x01" * n
+        # restore the static chunk split a previous rebalancing job rewrote
+        arena.get("bounds").buf[:len(self._bounds_bytes)] = self._bounds_bytes
 
     def _collect(self, generation: int) -> None:
         """Wait for every worker's done message, failing fast on any death.

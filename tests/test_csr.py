@@ -284,10 +284,15 @@ class TestKernelParity:
         space = NucleusSpace(any_graph, *rs)
         csr = space.to_csr()
         reference = and_decomposition(space, backend="dict")
+        # default engine="auto" may pick the batched kernel, whose iteration
+        # counts legitimately differ — κ parity still holds
         result = and_decomposition_csr(csr)
         assert result.kappa == reference.kappa
-        assert result.iterations == reference.iterations
         assert result.converged and reference.converged
+        # the per-visit python engine reproduces the dict trajectory exactly
+        pervisit = and_decomposition_csr(csr, engine="python")
+        assert pervisit.kappa == reference.kappa
+        assert pervisit.iterations == reference.iterations
 
     @pytest.mark.parametrize(
         "order", ["natural", "degree", "degree_desc", "random", "peel"]
@@ -319,7 +324,9 @@ class TestKernelParity:
     def test_and_notification_parity(self, any_graph, notification):
         space = NucleusSpace(any_graph, 2, 3)
         a = and_decomposition(space, notification=notification, backend="dict")
-        b = and_decomposition_csr(space.to_csr(), notification=notification)
+        b = and_decomposition_csr(
+            space.to_csr(), notification=notification, engine="python"
+        )
         assert a.kappa == b.kappa
         assert a.iterations == b.iterations
 

@@ -178,6 +178,61 @@ class TestNotificationAND:
             )
 
 
+class TestRebalancing:
+    """Dynamic chunk re-balancing on the persistent pool's AND path.
+
+    Re-splitting the chunk bounds by surviving active weight changes only
+    who sweeps what — never κ — and is a no-op without the notification
+    bitmap (full sweeps have nothing to skew) or with a single worker.
+    """
+
+    def test_rebalances_and_preserves_kappa(self, small_powerlaw_graph):
+        csr = CSRSpace.from_graph(small_powerlaw_graph, 2, 3)
+        exact = peeling_decomposition(csr).kappa
+        with PersistentPool(workers=3) as pool:
+            result = pool.run_and(csr)  # rebalance=True is the default
+            assert result.kappa == exact
+            assert result.converged
+            # the workhorse graph takes several sparse rounds, so the
+            # bounds get recut at least once
+            assert result.operations["rebalances"] > 0
+
+    def test_rebalance_off_keeps_static_bounds(self, small_powerlaw_graph):
+        csr = CSRSpace.from_graph(small_powerlaw_graph, 2, 3)
+        exact = peeling_decomposition(csr).kappa
+        with PersistentPool(workers=3) as pool:
+            result = pool.run_and(csr, rebalance=False)
+            assert result.kappa == exact
+            assert result.operations["rebalances"] == 0
+
+    def test_noop_without_notification(self, small_powerlaw_graph):
+        csr = CSRSpace.from_graph(small_powerlaw_graph, 2, 3)
+        with PersistentPool(workers=3) as pool:
+            result = pool.run_and(csr, notification=False)
+            assert result.operations["rebalances"] == 0
+
+    def test_noop_with_single_worker(self, small_powerlaw_graph):
+        csr = CSRSpace.from_graph(small_powerlaw_graph, 2, 3)
+        with PersistentPool(workers=1) as pool:
+            result = pool.run_and(csr)
+            assert result.operations["rebalances"] == 0
+
+    def test_repeated_calls_reset_bounds(self, small_powerlaw_graph):
+        # the re-cut bounds of one call must not leak into the next: the
+        # buffer reset restores the static split, so every call starts
+        # from the same partition and lands on the same κ (round and
+        # rebalance counts may differ — the asynchronous schedule is
+        # timing-dependent across processes, the fixed point is not)
+        csr = CSRSpace.from_graph(small_powerlaw_graph, 2, 3)
+        exact = peeling_decomposition(csr).kappa
+        with PersistentPool(workers=3) as pool:
+            first = pool.run_and(csr)
+            second = pool.run_and(csr)
+            assert first.kappa == second.kappa == exact
+            assert first.operations["rebalances"] > 0
+            assert second.operations["rebalances"] > 0
+
+
 class TestPersistentPool:
     def test_repeated_calls_match_serial(self, small_powerlaw_graph):
         csr = CSRSpace.from_graph(small_powerlaw_graph, 2, 3)
