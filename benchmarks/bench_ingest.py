@@ -102,6 +102,90 @@ def test_ingest_array_vs_dict(edge_list_path, smoke_mode, bench_record):
         )
 
 
+#: full-mode floor for serial over pool-parallel (3, 4) space construction;
+#: only *asserted* on >= 4-core machines (pool overhead cannot amortise on
+#: 1-2 cores — there the ratio is still recorded for the trend gate)
+PAR_CONSTRUCT_TARGET = 2.0
+
+
+def test_parallel_space_construction(edge_list_path, smoke_mode, bench_record):
+    """Serial vs pool-parallel ``CSRSpace.from_graph`` at (3, 4).
+
+    The parallel build must be *byte-identical* to the serial one (asserted
+    on the context buffers), so the only question is time: the
+    ``space_construct_par`` row records construction alone, ``ingest_par``
+    the full file → space pipeline with parallel enumeration.  Each
+    parallel timing includes the pool's fork + segment setup — the honest
+    end-to-end cost a caller pays.
+    """
+    import os
+
+    reps = 1 if smoke_mode else 3
+    cores = os.cpu_count() or 1
+    workers = min(4, cores)
+
+    csr_graph = read_edge_list_arrays(edge_list_path)
+    t_serial, serial_space = _best_of(reps, CSRSpace.from_graph, csr_graph, 3, 4)
+    t_par, par_space = _best_of(
+        reps,
+        lambda: CSRSpace.from_graph(
+            csr_graph, 3, 4, parallel="process", workers=workers
+        ),
+    )
+    assert par_space.stride == serial_space.stride
+    assert par_space.ctx_offsets.tobytes() == serial_space.ctx_offsets.tobytes()
+    assert par_space.ctx_members.tobytes() == serial_space.ctx_members.tobytes()
+
+    speedup = t_serial / t_par if t_par else float("inf")
+    bench_record(
+        name="space_construct_par",
+        serial_s=round(t_serial, 4),
+        parallel_s=round(t_par, 4),
+        workers=workers,
+        cores=cores,
+        speedup=round(speedup, 2),
+        r_cliques=len(serial_space),
+        smoke=smoke_mode,
+    )
+
+    def ingest_serial():
+        graph = read_edge_list_arrays(edge_list_path)
+        return CSRSpace.from_graph(graph, 3, 4)
+
+    def ingest_par():
+        graph = read_edge_list_arrays(edge_list_path)
+        return CSRSpace.from_graph(
+            graph, 3, 4, parallel="process", workers=workers
+        )
+
+    t_ingest_serial, _ = _best_of(reps, ingest_serial)
+    t_ingest_par, _ = _best_of(reps, ingest_par)
+    ingest_speedup = (
+        t_ingest_serial / t_ingest_par if t_ingest_par else float("inf")
+    )
+    bench_record(
+        name="ingest_par",
+        serial_s=round(t_ingest_serial, 4),
+        parallel_s=round(t_ingest_par, 4),
+        workers=workers,
+        cores=cores,
+        speedup=round(ingest_speedup, 2),
+        smoke=smoke_mode,
+    )
+    print(
+        f"\nparallel (3,4) construction on {len(serial_space)} r-cliques "
+        f"({workers} workers, {cores} cores): serial {t_serial * 1000:.1f} ms, "
+        f"parallel {t_par * 1000:.1f} ms -> {speedup:.2f}x; ingest "
+        f"{t_ingest_serial * 1000:.1f} -> {t_ingest_par * 1000:.1f} ms "
+        f"({ingest_speedup:.2f}x)"
+    )
+    if not smoke_mode and cores >= 4:
+        assert speedup >= PAR_CONSTRUCT_TARGET, (
+            f"parallel construction only {speedup:.2f}x on {cores} cores "
+            f"(target {PAR_CONSTRUCT_TARGET}x with {workers} workers)"
+        )
+
+
 #: full-mode floor for cold (parse + enumerate + decompose) over warm
 #: (open_bundle + point kappa lookup); real ratios are in the thousands,
 #: the ISSUE 6 acceptance floor is 10x

@@ -155,8 +155,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["thread", "process"],
         default=None,
         help="run the local algorithms on a pool: 'process' shares the CSR "
-        "buffers across worker processes (real multi-core), 'thread' is the "
-        "GIL-bound correctness-check pool (snd only)",
+        "buffers across worker processes (real multi-core, and also "
+        "parallelises space construction), 'thread' runs snd (GIL-bound "
+        "correctness check) or and (batched numpy chunk sweep, csr only)",
     )
     dec.add_argument(
         "--workers",
@@ -340,7 +341,14 @@ def _run_decompose(args: argparse.Namespace) -> None:
             if args.parallel == "process"
             else args.backend
         )
-        space, _ = resolve_space_for_backend(graph, args.r, args.s, backend)
+        # --parallel process also parallelises the space *construction* when
+        # the source is array-native (--edge-list ingestion); registry dict
+        # graphs build serially (identical buffers either way)
+        space, _ = resolve_space_for_backend(
+            graph, args.r, args.s, backend,
+            parallel="process" if args.parallel == "process" else None,
+            workers=args.workers,
+        )
         source = space
     resilience = None
     if args.resilient:

@@ -246,7 +246,16 @@ class CSRSpace:
         return obj
 
     @classmethod
-    def from_graph(cls, graph: GraphSource, r: int, s: int) -> "CSRSpace":
+    def from_graph(
+        cls,
+        graph: GraphSource,
+        r: int,
+        s: int,
+        *,
+        parallel: Optional[str] = None,
+        workers: Optional[int] = None,
+        pool=None,
+    ) -> "CSRSpace":
         """Build the CSR space of ``graph`` directly, without a NucleusSpace.
 
         The dict-of-tuples :class:`NucleusSpace` is convenient for reference
@@ -276,10 +285,36 @@ class CSRSpace:
         :class:`CliqueArrayView`).  Clique *indices* then follow the sorted
         id order of the array tables rather than the dict enumeration order;
         κ keyed by clique is identical either way.
+
+        ``parallel="process"`` (CSRGraph sources only) enumerates the
+        cliques across a shared-memory process pool
+        (:meth:`repro.parallel.procpool.PersistentPool.run_enumerate`) with
+        ``workers`` processes — the resulting buffers are **byte-identical**
+        to the serial construction.  Passing an existing ``pool`` instead
+        reuses its binding, and the same binding then serves a subsequent
+        ``pool.run_and(space)`` / ``run_snd(space)`` without a second fork.
         """
         if r < 1 or s <= r:
             raise ValueError(f"need 1 <= r < s, got r={r}, s={s}")
+        if parallel not in (None, "process"):
+            raise ValueError(
+                f"unknown parallel mode {parallel!r}; expected 'process'"
+            )
+        if (
+            parallel is not None or workers is not None or pool is not None
+        ) and not isinstance(graph, CSRGraph):
+            raise ValueError(
+                "parallel space construction requires a CSRGraph source"
+            )
+        if workers is not None and parallel is None and pool is None:
+            raise ValueError(
+                "workers= requires parallel='process' (or an explicit pool)"
+            )
         if isinstance(graph, CSRGraph):
+            if pool is not None or parallel == "process":
+                return cls._from_csr_graph_parallel(
+                    graph, r, s, workers=workers, pool=pool
+                )
             return cls._from_csr_graph(graph, r, s)
         if (r, s) == (1, 2):
             cliques, groups = _incidence_vertex_edge(graph)
@@ -352,19 +387,54 @@ class CSRSpace:
         return obj
 
     @classmethod
-    def _from_csr_graph(cls, graph: CSRGraph, r: int, s: int) -> "CSRSpace":
-        """Array-native construction from a :class:`CSRGraph` source."""
+    def _from_csr_graph(
+        cls, graph: CSRGraph, r: int, s: int, enum=None
+    ) -> "CSRSpace":
+        """Array-native construction from a :class:`CSRGraph` source.
+
+        ``enum`` is the clique-enumeration seam: a callable ``enum(k)``
+        yielding ``(m_i, k)`` id batches whose concatenation equals the
+        serial ``graph.clique_batches(k)`` stream.  Every downstream pass is
+        row-wise (per-row sorts, searchsorted lookups), so any batching of
+        the same stream — including the pool's one-big-batch parallel
+        enumeration — assembles byte-identical buffers.
+        """
         if _np is None:  # pragma: no cover - CSRGraph itself requires numpy
             raise MissingDependencyError("CSRGraph sources require numpy")
+        if enum is None:
+            enum = graph.clique_batches
         if (r, s) == (1, 2):
             clique_ids, groups = _incidence_arrays_vertex_edge(graph)
         elif (r, s) == (2, 3):
-            clique_ids, groups = _incidence_arrays_edge_triangle(graph)
+            clique_ids, groups = _incidence_arrays_edge_triangle(graph, enum)
         elif (r, s) == (3, 4):
-            clique_ids, groups = _incidence_arrays_triangle_quad(graph)
+            clique_ids, groups = _incidence_arrays_triangle_quad(graph, enum)
         else:
-            clique_ids, groups = _incidence_arrays_generic(graph, r, s)
+            clique_ids, groups = _incidence_arrays_generic(graph, r, s, enum)
         return cls._from_incidence_arrays(r, s, clique_ids, groups, graph)
+
+    @classmethod
+    def _from_csr_graph_parallel(
+        cls,
+        graph: CSRGraph,
+        r: int,
+        s: int,
+        *,
+        workers: Optional[int] = None,
+        pool=None,
+    ) -> "CSRSpace":
+        """Pool-enumerated construction; buffers byte-identical to serial."""
+        # deferred: procpool imports this module at its top level
+        from repro.parallel.procpool import PersistentPool
+
+        if pool is not None:
+            return cls._from_csr_graph(
+                graph, r, s, enum=_pool_enumerator(pool, graph)
+            )
+        with PersistentPool(workers if workers is not None else 4) as owned:
+            return cls._from_csr_graph(
+                graph, r, s, enum=_pool_enumerator(owned, graph)
+            )
 
     @classmethod
     @kernel
@@ -756,11 +826,25 @@ def _edge_key_table(graph: CSRGraph):
     return edges, edges[:, 0] * n + edges[:, 1], n
 
 
-def _incidence_arrays_edge_triangle(graph: CSRGraph):
+def _pool_enumerator(pool, graph: CSRGraph):
+    """Adapt ``pool.run_enumerate`` to the builders' ``enum(k)`` seam.
+
+    The pool returns each level's cliques as one concatenated table; the
+    builders are row-wise over batches, so one big batch assembles the same
+    buffers as many small ones.
+    """
+    def enum(k: int):
+        table = pool.run_enumerate(graph, k)
+        return [table] if len(table) else []
+
+    return enum
+
+
+def _incidence_arrays_edge_triangle(graph: CSRGraph, enum):
     """(2, 3): edge table plus batched oriented triangle listing."""
     edges, ekeys, n = _edge_key_table(graph)
     group_rows = []
-    for batch in graph.triangle_batches():
+    for batch in enum(3):
         t = _np.sort(batch, axis=1)
         group_rows.append(
             _np.column_stack(
@@ -774,7 +858,7 @@ def _incidence_arrays_edge_triangle(graph: CSRGraph):
     return edges, _stack_rows(group_rows, 3)
 
 
-def _incidence_arrays_triangle_quad(graph: CSRGraph):
+def _incidence_arrays_triangle_quad(graph: CSRGraph, enum):
     """(3, 4): triangle table plus batched oriented 4-clique listing.
 
     Triangles are keyed hierarchically — ``edge_id(a, b) * n + c`` — so the
@@ -782,7 +866,7 @@ def _incidence_arrays_triangle_quad(graph: CSRGraph):
     """
     edges, ekeys, n = _edge_key_table(graph)
     _check_key_space(max(len(edges), 1), n)
-    tri = _collect_sorted_batches(graph.triangle_batches(), 3)
+    tri = _collect_sorted_batches(enum(3), 3)
 
     def tri_keys(rows):
         eid = _np.searchsorted(ekeys, rows[:, 0] * n + rows[:, 1])
@@ -796,7 +880,7 @@ def _incidence_arrays_triangle_quad(graph: CSRGraph):
         [[0, 1, 2], [0, 1, 3], [0, 2, 3], [1, 2, 3]], dtype=_np.int64
     )
     group_rows = []
-    for batch in graph.clique_batches(4):
+    for batch in enum(4):
         q = _np.sort(batch, axis=1)
         group_rows.append(
             _np.stack(
@@ -807,16 +891,16 @@ def _incidence_arrays_triangle_quad(graph: CSRGraph):
     return tri, _stack_rows(group_rows, 4)
 
 
-def _incidence_arrays_generic(graph: CSRGraph, r: int, s: int):
+def _incidence_arrays_generic(graph: CSRGraph, r: int, s: int, enum):
     """Any r < s: batch enumeration of both levels plus row-table lookup."""
-    table = _collect_sorted_batches(graph.clique_batches(r), r)
+    table = _collect_sorted_batches(enum(r), r)
     order = _np.lexsort(tuple(table[:, j] for j in reversed(range(r))))
     table = table[order]
     sub_cols = [
         _np.array(cols, dtype=_np.int64) for cols in combinations(range(s), r)
     ]
     group_rows = []
-    for batch in graph.clique_batches(s):
+    for batch in enum(s):
         q = _np.sort(batch, axis=1)
         group_rows.append(
             _np.stack(
@@ -877,28 +961,38 @@ def auto_csr_threshold() -> int:
 def _calibrate_threshold() -> int:
     """One-shot timing probe replacing the old magic switch-over constant.
 
-    Runs the full auto-routing decision once at a small known size: the dict
+    Runs the full auto-routing decision at a small known size: the dict
     route (``NucleusSpace`` construction + dict AND kernel) against the CSR
-    route (``from_graph`` + CSR AND kernel) on a deterministic ~150-edge
+    route (``from_graph`` + CSR AND kernel) on a deterministic ~140-edge
     (2, 3) probe instance.  Both routes scale roughly linearly with space
     size at fixed density, so the break-even size is estimated by scaling
     the probe size with the observed cost ratio, then clamped to
     ``[MIN_AUTO_CSR_THRESHOLD, AUTO_CSR_THRESHOLD]`` — the probe can only
     discover that CSR pays off *earlier* than the conservative default, and
-    single-digit-millisecond timings are too noisy to justify routing large
-    spaces to the dict backend.
+    millisecond timings are too noisy to justify routing large spaces to
+    the dict backend.
+
+    Each route is timed best-of-two: a single trial wobbled by ±40% from
+    one-off allocator and cache effects, while the minimum of two is stable
+    within a few per cent (measured: the batched CSR kernel puts the
+    crossover at ≈90 r-cliques, ratio ≈0.67 at probe size).
     """
     from repro.core.asynd import and_decomposition  # deferred: import cycle
     from repro.graph.generators import powerlaw_cluster_graph
 
     graph = powerlaw_cluster_graph(48, 3, 0.5, seed=20)
     probe_size = graph.number_of_edges()  # = |R(G)| of the (2, 3) instance
-    t0 = time.perf_counter()
-    and_decomposition(NucleusSpace(graph, 2, 3), backend="dict")
-    t_dict = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    and_decomposition_csr(CSRSpace.from_graph(graph, 2, 3))
-    t_csr = time.perf_counter() - t0
+
+    def best_of(run, trials=2):
+        best = float("inf")
+        for _ in range(trials):
+            t0 = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_dict = best_of(lambda: and_decomposition(NucleusSpace(graph, 2, 3), backend="dict"))
+    t_csr = best_of(lambda: and_decomposition_csr(CSRSpace.from_graph(graph, 2, 3)))
     if t_dict <= 0.0:
         return AUTO_CSR_THRESHOLD
     estimate = int(probe_size * (t_csr / t_dict))
@@ -916,10 +1010,10 @@ def estimate_r_clique_count(
     construction.  ``r = 1`` and ``r = 2`` are O(1) lookups (vertex / edge
     counts); ``r = 3`` counts oriented triangles; the generic case walks the
     shared clique enumerator.  With ``limit`` the count stops as soon as it
-    reaches the limit, so the answer is exact below the limit and a lower
-    bound (at least ``limit``) once it is reached — exactly what a threshold
-    comparison needs.  Accepts a :class:`CSRGraph` too, where ``r >= 3``
-    counts batches of the array enumerator (early-exiting per batch).
+    reaches the limit, so the answer is exact below the limit and exactly
+    ``limit`` once it is reached — exactly what a threshold comparison
+    needs.  Accepts a :class:`CSRGraph` too, where ``r >= 3`` runs the
+    count-only array expansion with the cap applied inside each chunk.
     """
     if r < 1:
         raise ValueError(f"need r >= 1, got r={r}")
@@ -1047,6 +1141,9 @@ def resolve_space_for_backend(
     r: Optional[int],
     s: Optional[int],
     backend: str,
+    *,
+    parallel: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Tuple[Union[NucleusSpace, CSRSpace], str]:
     """Resolve source and backend together, skipping the dict detour.
 
@@ -1065,6 +1162,12 @@ def resolve_space_for_backend(
     converts through :meth:`CSRGraph.to_graph` to honour the request.
     Every other combination behaves like :func:`resolve_space` followed by
     :func:`resolve_backend`.
+
+    ``parallel="process"`` routes a :class:`CSRGraph` source's space
+    construction through the shared-memory pool enumerator (see
+    :meth:`CSRSpace.from_graph`); the buffers are byte-identical to the
+    serial build.  Other source kinds construct serially regardless — only
+    the array-native path has a batch enumerator to parallelise.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -1074,6 +1177,13 @@ def resolve_space_for_backend(
             raise ValueError("r and s are required when passing a graph")
         if backend == "dict":
             return NucleusSpace(source.to_graph(), r, s), "dict"
+        if parallel == "process":
+            return (
+                CSRSpace.from_graph(
+                    source, r, s, parallel="process", workers=workers
+                ),
+                "csr",
+            )
         return CSRSpace.from_graph(source, r, s), "csr"
     if isinstance(source, Graph) and backend in ("csr", "auto"):
         if r is None or s is None:

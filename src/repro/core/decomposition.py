@@ -84,10 +84,11 @@ def nucleus_decomposition(
         by :meth:`CSRSpace.from_graph` — the dict space is never built.
         κ is backend-independent.
     parallel:
-        ``None`` (serial, the default), ``"thread"`` (SND on a thread pool —
-        correctness checks, no speedup under the GIL) or ``"process"``
-        (SND or AND on the shared-memory process pool of
-        :mod:`repro.parallel.procpool` — the real multi-core path).
+        ``None`` (serial, the default), ``"thread"`` (SND or AND on a
+        thread pool — SND is a GIL-bound correctness check; AND drives the
+        process pool's batched numpy chunk sweep over in-process arrays,
+        CSR-only) or ``"process"`` (SND or AND on the shared-memory process
+        pool of :mod:`repro.parallel.procpool` — the real multi-core path).
     workers:
         Worker count for the parallel modes (default 4); requires
         ``parallel``.
@@ -187,10 +188,16 @@ def _parallel_dispatch(
     if parallel == "thread":
         if resilience not in (None, False):
             raise ValueError("resilience= requires parallel='process'")
-        if algorithm != "snd":
+        if algorithm == "peeling":
             raise ValueError(
-                "parallel='thread' supports algorithm='snd' only "
-                "(the asynchronous schedule needs process-level ownership)"
+                "parallel execution supports the local algorithms "
+                "('snd', 'and'); peeling is the sequential baseline"
+            )
+        if algorithm == "and":
+            from repro.parallel.runner import parallel_and_decomposition
+
+            return parallel_and_decomposition(
+                source, r, s, num_threads=workers, backend=backend, **options
             )
         from repro.parallel.runner import parallel_snd_decomposition
 

@@ -156,7 +156,10 @@ def dataset_names(include_extras: bool = True) -> List[str]:
 REPRESENTATIONS = ("dict", "csr")
 
 
-def load_dataset(name: str, representation: str = "dict", *, cache_dir=None):
+def load_dataset(
+    name: str, representation: str = "dict", *, cache_dir=None,
+    space=None, parallel=None, workers=None,
+):
     """Build (and memoise) the named dataset.
 
     ``representation`` selects the graph substrate: ``"dict"`` (default)
@@ -173,6 +176,15 @@ def load_dataset(name: str, representation: str = "dict", *, cache_dir=None):
     buffer checksums; a cache entry that is missing, invalid or corrupt is
     quarantined (renamed to ``<name>.corrupt-<n>``), logged, counted in
     :data:`CACHE_EVENTS`, and rebuilt from source.
+
+    ``space`` (CSR only) is an ``(r, s)`` pair: the return value becomes a
+    ``(graph, space)`` tuple with the decomposition-ready
+    :class:`~repro.core.csr.CSRSpace` built alongside the graph.  With
+    ``parallel="process"`` (and optional ``workers``) the space's clique
+    enumeration runs on the shared-memory pool of
+    :mod:`repro.parallel.procpool` — byte-identical buffers, built faster
+    on multi-core machines.  Spaces are not memoised (they can dwarf the
+    graph); callers wanting reuse should keep the tuple or store a bundle.
     """
     if representation not in REPRESENTATIONS:
         raise ValueError(
@@ -183,16 +195,33 @@ def load_dataset(name: str, representation: str = "dict", *, cache_dir=None):
         raise KeyError(
             f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
         )
+    if space is None and (parallel is not None or workers is not None):
+        raise ValueError("parallel/workers require space=(r, s)")
+    if space is not None and representation != "csr":
+        raise ValueError(
+            "space=(r, s) requires representation='csr': parallel space "
+            "construction runs on the array-native graph"
+        )
     if cache_dir is not None:
         if representation != "csr":
             raise ValueError(
                 "cache_dir requires representation='csr': only the "
                 "array-native graph has an on-disk form"
             )
-        return _load_cached_csr(name, cache_dir)
-    if representation == "csr":
-        return _load_csr(name)
-    return _load_dict(name)
+        graph = _load_cached_csr(name, cache_dir)
+    elif representation == "csr":
+        graph = _load_csr(name)
+    else:
+        return _load_dict(name)
+    if space is None:
+        return graph
+    r, s = space
+    from repro.core.csr import CSRSpace
+
+    built = CSRSpace.from_graph(
+        graph, int(r), int(s), parallel=parallel, workers=workers
+    )
+    return graph, built
 
 
 @lru_cache(maxsize=None)

@@ -53,6 +53,12 @@ HAVE_NUMPY = np is not None
 #: batch; one batch materialises a few int64 arrays of roughly this length.
 DEFAULT_BATCH_SIZE = 1 << 20
 
+#: Starting candidate-pair budget of a ``count_k_cliques(limit=...)`` probe.
+#: The budget doubles after every chunk that stays below the limit, so a
+#: probe that early-exits touches only a few thousand pairs while an
+#: unbounded count still converges to :data:`DEFAULT_BATCH_SIZE` chunks.
+PROBE_BATCH_SIZE = 1 << 12
+
 
 def _require_numpy() -> None:
     if np is None:  # pragma: no cover - exercised on numpy-free installs
@@ -642,14 +648,15 @@ class CSRGraph:
 
     def count_triangles(self, *, limit: Optional[int] = None) -> int:
         """Total triangle count, early-exiting once ``limit`` is reached."""
-        count = 0
-        for batch in self.triangle_batches():
-            count += len(batch)
-            if limit is not None and count >= limit:
-                break
-        return count
+        return self.count_k_cliques(3, limit=limit)
 
-    def clique_batches(self, k: int, *, batch_size: int = DEFAULT_BATCH_SIZE):
+    def clique_batches(
+        self,
+        k: int,
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        vertex_range: Optional[Tuple[int, int]] = None,
+    ):
         """Yield every k-clique exactly once, as ``(m, k)`` id-array batches.
 
         The expansion mirrors :func:`repro.graph.cliques.enumerate_k_cliques`
@@ -661,25 +668,43 @@ class CSRGraph:
         reach ``k`` vertices are pruned wholesale.  Source vertices are
         processed in chunks sized by candidate-pair count, so peak memory is
         bounded by ``batch_size`` regardless of graph size.
+
+        ``vertex_range=(lo, hi)`` restricts enumeration to the cliques whose
+        lowest-*id* source vertex falls in ``lo..hi-1``.  Every clique has
+        exactly one source vertex, so concatenating the batches of any
+        ascending partition of ``[0, n)`` reproduces the unrestricted stream
+        element for element — the invariant the parallel space construction
+        relies on for byte-identical results.
         """
         if k < 1:
             raise ValueError("k must be >= 1")
         n = self.number_of_vertices()
+        v_lo, v_hi = (0, n) if vertex_range is None else vertex_range
+        if not 0 <= v_lo <= v_hi <= n:
+            raise ValueError(
+                f"vertex_range {(v_lo, v_hi)!r} outside [0, {n}]"
+            )
         if k == 1:
-            if n:
-                yield np.arange(n, dtype=np.int64).reshape(n, 1)
+            if v_hi > v_lo:
+                yield np.arange(v_lo, v_hi, dtype=np.int64).reshape(v_hi - v_lo, 1)
             return
         fptr, fidx = self.forward_csr()
+        # _chunk_rows_by_pairs reads only consecutive differences, so a
+        # sliced offset view chunks the sub-range with the same boundaries
+        # the full scan would choose inside it
+        sub_ptr = fptr[v_lo:v_hi + 1]
         if k == 2:
-            for lo, hi in _chunk_rows_by_pairs(fptr, batch_size):
+            for lo, hi in _chunk_rows_by_pairs(sub_ptr, batch_size):
+                lo += v_lo
+                hi += v_lo
                 rows = np.repeat(
                     np.arange(lo, hi, dtype=np.int64), fptr[lo + 1:hi + 1] - fptr[lo:hi]
                 )
                 if rows.size:
                     yield np.column_stack((rows, fidx[fptr[lo]:fptr[hi]]))
             return
-        for lo, hi in _chunk_rows_by_pairs(fptr, batch_size):
-            batch = self._expand_chunk(lo, hi, k, fptr, fidx)
+        for lo, hi in _chunk_rows_by_pairs(sub_ptr, batch_size):
+            batch = self._expand_chunk(lo + v_lo, hi + v_lo, k, fptr, fidx)
             if batch is not None and len(batch):
                 yield batch
 
@@ -714,13 +739,82 @@ class CSRGraph:
             cptr, cidx = _select_rows(new_cptr, new_cidx, keep)
             depth += 1
 
+    def _count_chunk(self, lo, hi, k, fptr, fidx, cap=None) -> int:
+        """Count the k-cliques sourced at vertices ``lo..hi-1`` (no output).
+
+        The same depth-by-depth expansion as :meth:`_expand_chunk` minus the
+        clique materialisation: no prefix table is carried and no
+        ``(m, k)`` output array is stacked — only the candidate CSR survives
+        each depth, so counting touches a fraction of the memory
+        enumeration would.  ``cap`` bounds the answer: the count stops at
+        the cap *inside* the chunk, so a caller's limit is honoured exactly
+        instead of overshooting by up to a whole chunk.
+        """
+        cptr, cidx = _select_rows(fptr, fidx, np.arange(lo, hi, dtype=np.int64))
+        depth = 1
+        while True:
+            if cidx.size == 0:
+                return 0
+            if depth + 1 == k:
+                # every remaining candidate completes a clique
+                size = int(cidx.size)
+                return size if cap is None else min(size, cap)
+            first, second = _pairs_within(cptr)
+            mask = self.has_edge_ids(cidx[first], cidx[second])
+            new_counts = np.bincount(first[mask], minlength=cidx.size)
+            new_cidx = cidx[second[mask]]
+            new_cptr = np.zeros(cidx.size + 1, dtype=np.int64)
+            np.cumsum(new_counts, out=new_cptr[1:])
+            needed = k - (depth + 1)
+            keep = np.flatnonzero(new_counts >= needed)
+            if keep.size == 0:
+                return 0
+            cptr, cidx = _select_rows(new_cptr, new_cidx, keep)
+            depth += 1
+
     def count_k_cliques(self, k: int, *, limit: Optional[int] = None) -> int:
-        """Total k-clique count, early-exiting once ``limit`` is reached."""
+        """Total k-clique count, early-exiting once ``limit`` is reached.
+
+        Counting never materialises clique rows: ``k <= 2`` are O(1) array
+        reads, ``k >= 3`` runs the prefix expansion in count-only form
+        (:meth:`_count_chunk`).  With ``limit`` the source vertices are
+        consumed in *adaptively sized* chunks — starting at
+        :data:`PROBE_BATCH_SIZE` candidate pairs and doubling after every
+        chunk that stays below the limit — so an estimator probe on a dense
+        graph exits inside its first few thousand pairs instead of paying a
+        full :data:`DEFAULT_BATCH_SIZE` chunk first.  The answer is exact
+        below the limit and exactly ``limit`` once reached: the cap is
+        applied *inside* each chunk (:meth:`_count_chunk`), never
+        overshooting by a chunk's worth of cliques.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        n = self.number_of_vertices()
+        if k == 1:
+            return n
+        fptr, fidx = self.forward_csr()
+        if k == 2:
+            return int(fptr[n])
+        lens = fptr[1:] - fptr[:-1]
+        pairs = lens * (lens - 1) // 2
+        budget = DEFAULT_BATCH_SIZE if limit is None else PROBE_BATCH_SIZE
         count = 0
-        for batch in self.clique_batches(k):
-            count += len(batch)
-            if limit is not None and count >= limit:
-                break
+        lo = 0
+        while lo < n:
+            acc = 0
+            hi = lo
+            while hi < n and (hi == lo or acc + pairs[hi] <= budget):
+                acc += int(pairs[hi])
+                hi += 1
+            count += self._count_chunk(
+                lo, hi, k, fptr, fidx,
+                cap=None if limit is None else limit - count,
+            )
+            lo = hi
+            if limit is not None:
+                if count >= limit:
+                    return count
+                budget = min(budget * 2, DEFAULT_BATCH_SIZE)
         return count
 
 

@@ -11,7 +11,9 @@ dynamic scheduling.  This package provides three complementary backends:
 * :class:`repro.parallel.scheduler.ThreadPoolBackend` — a real
   ``concurrent.futures`` thread pool used to validate that the SND iteration
   is safe to execute concurrently (functional correctness; no speedup under
-  the GIL).
+  the GIL).  :func:`repro.parallel.runner.parallel_and_decomposition` adds a
+  thread transport for the asynchronous AND schedule, driving the process
+  pool's batched numpy chunk sweep over in-process arrays.
 * :class:`repro.parallel.procpool.ProcessPoolBackend` — worker *processes*
   attached zero-copy to the CSR buffers via ``multiprocessing.shared_memory``:
   the real multi-core path (SND Jacobi with a double-buffered shared τ, and
@@ -30,6 +32,7 @@ from repro.parallel.procpool import (
 )
 from repro.parallel.runner import (
     PARALLEL_MODES,
+    parallel_and_decomposition,
     parallel_snd_decomposition,
     simulate_local_scalability,
     simulate_peeling_scalability,
@@ -48,6 +51,7 @@ __all__ = [
     "SharedCSRBuffers",
     "SimulatedScheduler",
     "ThreadPoolBackend",
+    "parallel_and_decomposition",
     "parallel_snd_decomposition",
     "process_and_decomposition",
     "process_snd_decomposition",

@@ -29,6 +29,19 @@ the real multi-core path:
   alike, and a failing worker aborts the barrier so its peers exit instead
   of deadlocking.
 
+The same pool also parallelises **clique enumeration** (the dominant cost
+of space *construction* at (3, 4)): :meth:`PersistentPool.run_enumerate`
+places the graph's adjacency and degeneracy-oriented forward CSR into
+shared segments, partitions the vertex range by out-degree weight, and has
+each worker enumerate its range in two phases — count, then fill a shared
+output segment at its offset — so the concatenated rows are byte-identical
+to the serial enumeration stream (each clique is emitted by exactly one
+source vertex, and the ranges partition ``[0, n)`` in ascending order).
+``CSRSpace.from_graph(parallel="process")`` builds on this, and the pool
+binding survives into the subsequent decomposition sweep: the space's
+segments are attached late, over the same worker processes, with no second
+fork.
+
 Two parent-side lifecycles share the same worker kernels:
 
 * :class:`ProcessPoolBackend` — one-shot: fork, sweep, join, unlink.  Every
@@ -65,12 +78,14 @@ from repro.core.hindex import h_index
 from repro.core.kernels import kernel
 from repro.core.result import DecompositionResult
 from repro.core.space import NucleusSpace
+from repro.graph.csr_graph import CSRGraph
 from repro.graph.graph import Graph
 from repro.resilience.errors import (
     JobTimeoutError,
     PoolPoisonedError,
     WorkerCrashError,
 )
+from repro.resilience.faults import ENUM_KINDS as _ENUM_KINDS
 from repro.resilience.faults import get_active as _active_faults
 
 try:  # numpy accelerates the worker sweeps; every path has a fallback
@@ -165,6 +180,14 @@ class WorkerSpec:
     workers, whose spec doubles as their only job; persistent workers leave
     them at their defaults and receive :class:`JobSpec` objects over a pipe
     instead.
+
+    ``graph_shape`` is set when the binding shares a :class:`CSRGraph` for
+    enumeration jobs: ``(num_vertices, len(indices), len(forward_indices))``
+    — the element counts of the shared graph segments, which cannot be
+    recovered from the segment sizes (they are rounded up to an 8-byte
+    minimum).  For such a binding ``bounds`` is a *vertex* range and
+    ``n``/``stride`` stay 0 until a space is attached late via
+    :class:`JobSpec`.
     """
 
     names: Dict[str, str]
@@ -178,15 +201,23 @@ class WorkerSpec:
     notification: bool = True
     faults: Optional[Tuple[dict, ...]] = None
     num_workers: int = 0
+    graph_shape: Optional[Tuple[int, int, int]] = None
 
 
 @dataclass(frozen=True)
 class JobSpec:
-    """One decomposition job, sent down a persistent worker's pipe.
+    """One job (decomposition sweep or enumeration phase), sent down a pipe.
 
     Frozen for the same reason as :class:`WorkerSpec`; per-worker fault
     directives are attached with :func:`dataclasses.replace`, never by
     mutating the shared instance.
+
+    ``kind`` is ``"snd"`` / ``"and"`` for sweeps, ``"enum-count"`` /
+    ``"enum-fill"`` for the two enumeration phases (``k``, and for the fill
+    phase the output segment name plus the per-worker row ``offsets``).
+    ``space_names`` rides on the first sweep job after a graph-first
+    binding: the worker attaches the space segments late and adopts the
+    job's ``n`` / ``stride`` / ``bounds`` as its sweep geometry.
     """
 
     kind: str
@@ -195,6 +226,13 @@ class JobSpec:
     gen: int = 0
     faults: Optional[Tuple[dict, ...]] = None
     rebalance: bool = False
+    k: int = 0
+    out: Optional[str] = None
+    offsets: Optional[Tuple[int, ...]] = None
+    space_names: Optional[Dict[str, str]] = None
+    n: int = 0
+    stride: int = 0
+    bounds: Optional[Tuple[int, int]] = None
 
 
 def _fire_entry_faults(spec: WorkerSpec) -> None:
@@ -218,6 +256,23 @@ def _fire_round_faults(job: JobSpec, round_no: int) -> None:
         if kind == "stall":
             time.sleep(float(directive.get("seconds", 30.0)))
         elif kind == "crash":
+            _fire_fault(directive)
+
+
+def _fire_enum_faults(job: JobSpec, phase: int) -> None:
+    """Run injected enum-crash/enum-stall directives aimed at ``phase``.
+
+    ``phase`` 0 is the count pass, 1 the fill pass — mirroring the ``round``
+    scheduling of the sweep faults.
+    """
+    for directive in job.faults or ():
+        if directive.get("kind") not in _ENUM_KINDS:
+            continue
+        if int(directive.get("phase", 0)) != phase:
+            continue
+        if directive.get("kind") == "enum-stall":
+            time.sleep(float(directive.get("seconds", 30.0)))
+        else:
             _fire_fault(directive)
 
 
@@ -253,8 +308,13 @@ class SharedCSRBuffers:
         self.names[tag] = shm.name
         return shm
 
-    def create_from(self, tag: str, data: array) -> shared_memory.SharedMemory:
-        """Create a segment holding a copy of an ``array('q')`` buffer."""
+    def create_from(self, tag: str, data) -> shared_memory.SharedMemory:
+        """Create a segment holding a copy of an int64 buffer.
+
+        ``data`` is anything with a ``tobytes()`` method — the in-memory
+        ``array('q')`` space buffers and numpy int64 arrays (graph CSR,
+        forward orientation) alike.
+        """
         raw = data.tobytes()
         shm = self.create(tag, len(raw))
         shm.buf[:len(raw)] = raw
@@ -264,6 +324,27 @@ class SharedCSRBuffers:
         """Return the (parent-side) segment created under ``tag``."""
         name = self.names[tag]
         return next(seg for seg in self._segments if seg.name == name)
+
+    def release(self, tag: str) -> None:
+        """Close and unlink the one segment under ``tag`` (idempotent).
+
+        Used for per-call scratch segments (enumeration output) that must
+        not accumulate across the arena's lifetime the way the binding's
+        own segments do.
+        """
+        name = self.names.pop(tag, None)
+        if name is None:
+            return
+        keep = []
+        for seg in self._segments:
+            if seg.name != name:
+                keep.append(seg)
+                continue
+            with contextlib.suppress(OSError, BufferError):
+                seg.close()
+            with contextlib.suppress(FileNotFoundError):
+                seg.unlink()
+        self._segments = keep
 
     def nbytes(self) -> int:
         return sum(seg.size for seg in self._segments)
@@ -306,6 +387,7 @@ def _create_shared_space(
     *,
     double_tau: bool,
     neighbours: bool,
+    control: bool = True,
 ) -> None:
     """Create every segment one pool run (or pool binding) needs.
 
@@ -313,7 +395,9 @@ def _create_shared_space(
     the CSR neighbour relation, the per-clique active bitmap (AND with
     notification) and the shared chunk-``bounds`` cut points that dynamic
     re-balancing rewrites between rounds.  A persistent binding creates all
-    of them so any job kind can run on the same segments.
+    of them so any job kind can run on the same segments.  ``control=False``
+    skips the counts/proc/meta control segments — a pool that bound a graph
+    first already created them (segment tags are create-once).
     """
     n = len(space)
     num_workers = len(ranges)
@@ -328,9 +412,32 @@ def _create_shared_space(
         active = arena.create("active", n)
         active.buf[:n] = b"\x01" * n
         arena.create_from("bounds", _bounds_array(ranges))
+    if control:
+        arena.create("counts", num_workers * _ITEMSIZE)
+        arena.create("proc", num_workers * _ITEMSIZE)
+        arena.create("meta", _META_SLOTS * _ITEMSIZE)
+
+
+def _create_shared_graph(
+    arena: SharedCSRBuffers, graph: CSRGraph, num_workers: int
+) -> Tuple[int, int, int]:
+    """Share a :class:`CSRGraph` (adjacency + forward orientation) once.
+
+    Returns the ``graph_shape`` element counts the workers need to view the
+    segments (sizes are rounded up, so they do not encode the counts).  The
+    forward CSR is computed parent-side and shipped rather than recomputed
+    per worker: the degeneracy ordering is deterministic, but every worker
+    paying it again would erase most of the parallel win.
+    """
+    fptr, fidx = graph.forward_csr()
+    arena.create_from("g_indptr", graph.indptr)
+    arena.create_from("g_indices", graph.indices)
+    arena.create_from("g_fptr", fptr)
+    arena.create_from("g_fidx", fidx)
     arena.create("counts", num_workers * _ITEMSIZE)
     arena.create("proc", num_workers * _ITEMSIZE)
     arena.create("meta", _META_SLOTS * _ITEMSIZE)
+    return (graph.number_of_vertices(), len(graph.indices), len(fidx))
 
 
 def _read_int64(shm: shared_memory.SharedMemory, count: int) -> array:
@@ -372,20 +479,35 @@ def _attach_views(
 
     Called once per worker process — one-shot workers use the views for a
     single job, persistent workers keep them across jobs (the numpy SND
-    sweep closure is cached lazily under ``"snd_sweep"``).
+    sweep closure is cached lazily under ``"snd_sweep"``).  A graph-first
+    persistent binding starts with only the control + graph segments; the
+    space views are attached late by :func:`_attach_space_views` when the
+    first sweep job carries the space segment names.
     """
     names = spec.names
-    off_shm = _attach(names["ctx_offsets"], attached)
-    cm_shm = _attach(names["ctx_members"], attached)
     views = {
-        "off_shm": off_shm,
-        "cm_shm": cm_shm,
-        "ctx_off": memoryview(off_shm.buf).cast("q"),
-        "cm": memoryview(cm_shm.buf).cast("q"),
         "counts": memoryview(_attach(names["counts"], attached).buf).cast("q"),
         "proc": memoryview(_attach(names["proc"], attached).buf).cast("q"),
         "meta": memoryview(_attach(names["meta"], attached).buf).cast("q"),
     }
+    if "g_indptr" in names:
+        _attach_graph_views(spec, attached, views)
+    if "ctx_offsets" in names:
+        _attach_space_views(spec, attached, views)
+    return views
+
+
+def _attach_space_views(
+    spec: WorkerSpec, attached: List[shared_memory.SharedMemory], views: dict
+) -> None:
+    """Attach the space segments named in ``spec`` into ``views`` in place."""
+    names = spec.names
+    off_shm = _attach(names["ctx_offsets"], attached)
+    cm_shm = _attach(names["ctx_members"], attached)
+    views["off_shm"] = off_shm
+    views["cm_shm"] = cm_shm
+    views["ctx_off"] = memoryview(off_shm.buf).cast("q")
+    views["cm"] = memoryview(cm_shm.buf).cast("q")
     tau_shms = [_attach(names["tau_a"], attached)]
     if "tau_b" in names:
         tau_shms.append(_attach(names["tau_b"], attached))
@@ -401,7 +523,47 @@ def _attach_views(
         views["bounds"] = memoryview(_attach(names["bounds"], attached).buf).cast("q")
     else:
         views["bounds"] = None
-    return views
+
+
+def _attach_graph_views(
+    spec: WorkerSpec, attached: List[shared_memory.SharedMemory], views: dict
+) -> None:
+    """Attach the shared graph segments as zero-copy numpy views.
+
+    Only graph-first bindings name these segments, and they are only ever
+    created when numpy is available (a :class:`CSRGraph` cannot exist
+    without it), so the views are unconditionally numpy.
+    """
+    names = spec.names
+    n, nnz, fnnz = spec.graph_shape
+    views["g_indptr"] = _np.frombuffer(
+        _attach(names["g_indptr"], attached).buf, dtype=_np.int64, count=n + 1
+    )
+    views["g_indices"] = _np.frombuffer(
+        _attach(names["g_indices"], attached).buf, dtype=_np.int64, count=nnz
+    )
+    views["g_fptr"] = _np.frombuffer(
+        _attach(names["g_fptr"], attached).buf, dtype=_np.int64, count=n + 1
+    )
+    views["g_fidx"] = _np.frombuffer(
+        _attach(names["g_fidx"], attached).buf, dtype=_np.int64, count=fnnz
+    )
+
+
+def _worker_graph(views: dict, spec: WorkerSpec) -> CSRGraph:
+    """Rebuild (once) a zero-copy :class:`CSRGraph` over the shared views.
+
+    ``np.ascontiguousarray`` in the constructor passes contiguous int64
+    views through uncopied, and the forward orientation cache is seeded
+    from the shared segments, so no worker recomputes the degeneracy
+    ordering or copies the adjacency.
+    """
+    graph = views.get("graph")
+    if graph is None:
+        graph = CSRGraph(views["g_indptr"], views["g_indices"])
+        graph._forward = (views["g_fptr"], views["g_fidx"])
+        views["graph"] = graph
+    return graph
 
 
 def _close_attached(
@@ -421,11 +583,77 @@ def _close_attached(
 
 
 def _run_job(views: dict, spec: WorkerSpec, job: JobSpec, barrier) -> None:
-    """Run one decomposition job (SND or AND) over this worker's chunk."""
+    """Run one job (sweep or enumeration phase) over this worker's chunk."""
     if job.kind == "snd":
         _snd_job(views, spec, job, barrier)
+    elif job.kind == "enum-count":
+        _enum_count_job(views, spec, job)
+    elif job.kind == "enum-fill":
+        _enum_fill_job(views, spec, job)
     else:
         _and_job(views, spec, job, barrier)
+
+
+def _concat_batches(batches, k: int):
+    """Stack ``(m_i, k)`` id batches into one contiguous ``(m, k)`` table."""
+    batches = [b for b in batches if len(b)]
+    if not batches:
+        return _np.empty((0, k), dtype=_np.int64)
+    if len(batches) == 1:
+        return _np.ascontiguousarray(batches[0], dtype=_np.int64)
+    return _np.concatenate(batches)
+
+
+def _enum_count_job(views: dict, spec: WorkerSpec, job: JobSpec) -> None:
+    """Count phase: enumerate this worker's vertex range, publish the count.
+
+    The enumerated rows are kept (worker-local) for the fill phase — the
+    two-phase protocol exists to learn the output offsets, not to save the
+    memory of one range's cliques, and re-enumerating would double the
+    dominant cost.
+    """
+    _fire_enum_faults(job, 0)
+    graph = _worker_graph(views, spec)
+    arr = _concat_batches(
+        graph.clique_batches(job.k, vertex_range=spec.bounds), job.k
+    )
+    views["enum_cache"] = (int(job.k), arr)
+    views["counts"][spec.wid] = arr.shape[0]
+
+
+def _enum_fill_job(views: dict, spec: WorkerSpec, job: JobSpec) -> None:
+    """Fill phase: copy the cached rows into the shared output at our offset.
+
+    ``job.offsets[wid]`` is the exclusive row scan of the published counts,
+    so the concatenation of all workers' slices is exactly the ascending
+    vertex-range partition of the serial enumeration stream.  The cache is
+    re-derived defensively if missing (a respawned worker replays the fill
+    after its count result was already collected).
+    """
+    _fire_enum_faults(job, 1)
+    cached = views.pop("enum_cache", None)
+    if cached is not None and cached[0] == int(job.k):
+        arr = cached[1]
+    else:  # pragma: no cover - defensive replay path
+        graph = _worker_graph(views, spec)
+        arr = _concat_batches(
+            graph.clique_batches(job.k, vertex_range=spec.bounds), job.k
+        )
+    if arr.size == 0:
+        return
+    shm = shared_memory.SharedMemory(name=job.out)
+    try:
+        dst = _np.frombuffer(
+            shm.buf,
+            dtype=_np.int64,
+            count=arr.size,
+            offset=job.offsets[spec.wid] * int(job.k) * _ITEMSIZE,
+        )
+        dst[:] = arr.reshape(-1)
+        del dst  # unpin before close
+    finally:
+        with contextlib.suppress(BufferError):
+            shm.close()
 
 
 def _round_sync(barrier, counts_mv, wid: int, updated: int, timeout: float) -> int:
@@ -557,22 +785,14 @@ def _sweep_snd_python(ctx_off, cm, stride, prev, nxt, lo: int, hi: int) -> int:
 
 @kernel
 def _make_numpy_and_sweep(views: dict, n: int, stride: int):
-    """Batched AND chunk sweep: the worker's whole frontier in one pass.
+    """Batched AND chunk sweep over the *shared-memory* views.
 
-    The same frontier-batched reduction as the serial
-    :func:`repro.core.csr._and_csr_numpy` — gather ρ segments with
-    repeat/arange bookkeeping, vectorised Section-4.4 sustainability check,
-    packed-key-sort h-index over the failed segments only, neighbour-flag
-    scatter — except that there is no worker-local maintained ρ array:
-    co-member τ values live in other workers' chunks, so ρ is gathered
-    straight from the live shared τ.  Elementwise int64 reads of a
-    monotonically decreasing shared array are always valid (the same
-    argument that lets the per-visit fallback read the shared view), and
-    the full-verification-sweep termination protocol in :func:`_and_job`
-    holds regardless of which published values a pass observed.
-
-    Bounds are arguments of the returned closure (not baked in like the SND
-    sweep's) so dynamic re-balancing can hand each round a different chunk.
+    Thin attach layer: builds zero-copy numpy views over the shared
+    segments and hands them to :func:`_make_numpy_and_sweep_arrays`, which
+    owns the actual reduction.  The thread-pool AND runner
+    (:func:`repro.parallel.runner.parallel_and_decomposition`) calls the
+    array-level core directly over in-process arrays — one kernel, two
+    transports.
     """
     ctx_off = _np.frombuffer(views["off_shm"].buf, dtype=_np.int64, count=n + 1)
     total = int(ctx_off[n])
@@ -592,6 +812,30 @@ def _make_numpy_and_sweep(views: dict, n: int, stride: int):
         # notification disabled: the sweep is only ever called with
         # use_active=False, so the flag/neighbour paths are unreachable
         nbr_off = nbr_mem = act = None
+    return _make_numpy_and_sweep_arrays(ctx_off, mem2d, tau, nbr_off, nbr_mem, act)
+
+
+@kernel
+def _make_numpy_and_sweep_arrays(ctx_off, mem2d, tau, nbr_off, nbr_mem, act):
+    """Batched AND chunk sweep: the worker's whole frontier in one pass.
+
+    The same frontier-batched reduction as the serial
+    :func:`repro.core.csr._and_csr_numpy` — gather ρ segments with
+    repeat/arange bookkeeping, vectorised Section-4.4 sustainability check,
+    packed-key-sort h-index over the failed segments only, neighbour-flag
+    scatter — except that there is no worker-local maintained ρ array:
+    co-member τ values live in other workers' chunks, so ρ is gathered
+    straight from the live shared τ.  Elementwise int64 reads of a
+    monotonically decreasing shared array are always valid (the same
+    argument that lets the per-visit fallback read the shared view), and
+    the full-verification-sweep termination protocol in :func:`_and_job`
+    holds regardless of which published values a pass observed.  The same
+    argument covers thread workers over in-process arrays — chunk ownership
+    and the verification sweep, not the transport, carry the correctness.
+
+    Bounds are arguments of the returned closure (not baked in like the SND
+    sweep's) so dynamic re-balancing can hand each round a different chunk.
+    """
     degrees = ctx_off[1:] - ctx_off[:-1]
     pack = int(degrees.max(initial=0)) + 2
 
@@ -892,6 +1136,18 @@ def _persistent_worker_main(
                 break  # parent vanished; nothing left to sweep
             if job is None:
                 break
+            if job.space_names and "ctx_off" not in views:
+                # late space binding: a graph-first pool's first sweep job
+                # carries the space segments plus this worker's sweep
+                # geometry (the enumeration spec's bounds were vertex ranges)
+                spec = replace(
+                    spec,
+                    names={**spec.names, **job.space_names},
+                    n=job.n,
+                    stride=job.stride,
+                    bounds=tuple(job.bounds),
+                )
+                _attach_space_views(spec, attached, views)
             _run_job(views, spec, job, barrier)
             doneq.put((spec.wid, job.gen))
     except threading.BrokenBarrierError:
@@ -1150,6 +1406,9 @@ class PersistentPool:
     forks:
         Total worker processes forked over the pool's lifetime — one batch
         per binding, **not** per call; tests and benchmarks assert on it.
+    enumerations:
+        Completed :meth:`run_enumerate` calls that actually ran on the
+        workers (the ``k <= 2`` and empty-graph short-circuits don't count).
 
     See Also
     --------
@@ -1178,11 +1437,16 @@ class PersistentPool:
         self._source = None
         self._source_rs: Optional[tuple] = None
         self._space: Optional[CSRSpace] = None
+        self._graph: Optional[CSRGraph] = None
+        self._pending_space: Optional[tuple] = None
+        self._enum_directives: Dict[int, tuple] = {}
+        self.enumerations = 0
         self._arena: Optional[SharedCSRBuffers] = None
         self._procs: List = []
         self._conns: List = []
         self._doneq = None
         self._errq = None
+        self._barrier = None
         self._num_workers = 0
         self._degree_bytes = b""
         self._bounds_bytes = b""
@@ -1288,23 +1552,7 @@ class PersistentPool:
                 gen=self._generation,
                 rebalance=rebalance,
             )
-            injector = _active_faults()
-            for wid, conn in enumerate(self._conns):
-                wjob = job
-                if injector is not None:
-                    directives, drop_pipe = injector.dispatch_faults(wid)
-                    if drop_pipe:
-                        # injected pipe EOF: the worker sees end-of-file and
-                        # exits silently; _collect must notice the vanishing
-                        conn.close()
-                        continue
-                    if directives:
-                        wjob = replace(job, faults=tuple(directives))
-                # BrokenPipeError/OSError: the worker died before the job
-                # could even be sent; _collect reports the death with its
-                # exit code
-                with contextlib.suppress(BrokenPipeError, OSError):
-                    conn.send(wjob)
+            self._send_jobs(job)
             self._collect(self._generation)
             rounds, converged, updates_total, processed, rebalances, kappa = (
                 _extract_result(self._arena, kind, n, self._num_workers)
@@ -1341,11 +1589,145 @@ class PersistentPool:
         )
 
     # ------------------------------------------------------------------
+    def _send_jobs(self, job: JobSpec, *, enum: bool = False) -> None:
+        """Send ``job`` to every worker, with faults and late space binding.
+
+        A pending late space binding (:meth:`_bind_space_late`) is attached
+        to each worker's copy of the job — segment names plus that worker's
+        sweep bounds — and cleared once delivered.  Fault dispatch consumes
+        the sweep-round kinds for sweep jobs and the enumeration kinds for
+        enumeration jobs, so a mixed plan aims each fault at the right job
+        family.  An enumeration spec is consumed once per enumeration — at
+        the count dispatch — but its directives are re-attached to the fill
+        job too, so a ``phase: 1`` fault reaches the pass it targets.
+        """
+        pending = self._pending_space
+        injector = _active_faults()
+        for wid, conn in enumerate(self._conns):
+            wjob = job
+            if pending is not None:
+                names, n, stride, bounds = pending
+                wjob = replace(
+                    wjob, space_names=names, n=n, stride=stride,
+                    bounds=bounds[wid],
+                )
+            if injector is not None:
+                directives, drop_pipe = injector.dispatch_faults(
+                    wid, kinds=_ENUM_KINDS if enum else None
+                )
+                if enum:
+                    if job.kind == "enum-fill":
+                        directives = list(
+                            self._enum_directives.pop(wid, ())
+                        ) + list(directives)
+                    else:
+                        self._enum_directives[wid] = tuple(directives)
+                if drop_pipe:
+                    # injected pipe EOF: the worker sees end-of-file and
+                    # exits silently; _collect must notice the vanishing
+                    conn.close()
+                    continue
+                if directives:
+                    wjob = replace(wjob, faults=tuple(directives))
+            # BrokenPipeError/OSError: the worker died before the job
+            # could even be sent; _collect reports the death with its
+            # exit code
+            with contextlib.suppress(BrokenPipeError, OSError):
+                conn.send(wjob)
+        self._pending_space = None
+
+    # ------------------------------------------------------------------
+    def run_enumerate(self, graph: CSRGraph, k: int):
+        """Enumerate the ``k``-cliques of ``graph`` across the pool workers.
+
+        Returns the ``(m, k)`` int64 id table, **byte-identical** to
+        ``np.concatenate(list(graph.clique_batches(k)))``: the workers own
+        an ascending partition of the vertex range, every clique is emitted
+        by exactly one source vertex (its lowest-ranked member), and the
+        two-phase count-then-fill protocol writes each worker's rows at its
+        exclusive-scan offset.  The first call binds the graph (shares the
+        adjacency + forward CSR, forks the workers); later calls on the same
+        graph reuse the binding, and a subsequent decomposition of a space
+        built *from this graph* attaches its segments late over the same
+        workers (no second fork).
+
+        ``k <= 2`` and empty graphs short-circuit serially — vertex and
+        edge streams are cheap CSR reads that could never amortise a
+        dispatch.
+        """
+        if self._closed:
+            raise PoolPoisonedError(
+                "PersistentPool is closed (shut down or poisoned by a "
+                "failed job); build a new pool to continue"
+            )
+        k = int(k)
+        if k < 1:
+            raise ValueError(f"need k >= 1, got k={k}")
+        if k <= 2 or graph.number_of_vertices() == 0:
+            return _concat_batches(graph.clique_batches(k), k)
+        try:
+            self._bind_graph(graph)
+            arena = self._arena
+            num_workers = self._num_workers
+            self._generation += 1
+            self._send_jobs(
+                JobSpec(kind="enum-count", gen=self._generation, k=k),
+                enum=True,
+            )
+            self._collect(self._generation)
+            counts = _read_int64(arena.get("counts"), num_workers)
+            offsets: List[int] = []
+            total = 0
+            for c in counts:
+                offsets.append(total)
+                total += int(c)
+            self.enumerations += 1
+            if total == 0:
+                return _np.empty((0, k), dtype=_np.int64)
+            tag = f"enum-{self._generation}"
+            out = arena.create(tag, total * k * _ITEMSIZE)
+            try:
+                self._generation += 1
+                self._send_jobs(
+                    JobSpec(
+                        kind="enum-fill",
+                        gen=self._generation,
+                        k=k,
+                        out=out.name,
+                        offsets=tuple(offsets),
+                    ),
+                    enum=True,
+                )
+                self._collect(self._generation)
+                result = _np.frombuffer(
+                    out.buf, dtype=_np.int64, count=total * k
+                ).reshape(total, k).copy()
+            finally:
+                arena.release(tag)
+            return result
+        except BaseException:
+            self._teardown(graceful=False)
+            self._closed = True
+            raise
+
+    # ------------------------------------------------------------------
     def _bind(self, space: CSRSpace, source, rs: tuple) -> None:
         """Create segments and fork workers for ``space`` (idempotent)."""
         if space is self._space:
             # same binding; refresh the source cache key (e.g. the same
             # CSRSpace passed with explicit instead of implicit r/s)
+            self._source = source
+            self._source_rs = rs
+            return
+        if (
+            self._space is None
+            and self._graph is not None
+            and self._procs
+            and getattr(space, "graph", None) is self._graph
+        ):
+            # graph-first binding and the space was built from that very
+            # graph: attach the space segments late over the same workers
+            self._bind_space_late(space)
             self._source = source
             self._source_rs = rs
             return
@@ -1366,6 +1748,11 @@ class PersistentPool:
                 double_tau=True, neighbours=True,
             )
             barrier = self._ctx.Barrier(self._num_workers)
+            # keep a reference for the binding's lifetime: under spawn the
+            # children *rebuild* the barrier's named semaphores from the
+            # pickled spec, and dropping the last parent-side reference
+            # would finalize (sem_unlink) them before a slow child attaches
+            self._barrier = barrier
             self._doneq = self._ctx.SimpleQueue()
             self._errq = self._ctx.SimpleQueue()
             names = dict(self._arena.names)
@@ -1413,6 +1800,105 @@ class PersistentPool:
         self._source = source
         self._source_rs = rs
         self.forks += self._num_workers
+
+    def _bind_graph(self, graph: CSRGraph) -> None:
+        """Share ``graph`` and fork enumeration-capable workers (idempotent).
+
+        The vertex range is partitioned by out-degree weight (each vertex's
+        enumeration cost grows with its forward out-degree), reusing the
+        same contiguous-cut balancer as the sweep chunks.
+        """
+        if graph is self._graph and self._procs:
+            return
+        self._teardown(graceful=True)
+        fptr, _ = graph.forward_csr()
+        ranges = weighted_ranges(fptr, self.workers)
+        self._num_workers = len(ranges)
+        self._arena = SharedCSRBuffers(prefix="rp")
+        try:
+            shape = _create_shared_graph(self._arena, graph, self._num_workers)
+            barrier = self._ctx.Barrier(self._num_workers)
+            self._barrier = barrier  # see _bind: outlive spawn re-pickling
+            self._doneq = self._ctx.SimpleQueue()
+            self._errq = self._ctx.SimpleQueue()
+            names = dict(self._arena.names)
+            injector = _active_faults()
+            for wid, bounds in enumerate(ranges):
+                spec = WorkerSpec(
+                    names=names,
+                    n=0,
+                    stride=0,
+                    bounds=bounds,
+                    wid=wid,
+                    barrier_timeout=self.barrier_timeout,
+                    num_workers=self._num_workers,
+                    graph_shape=shape,
+                )
+                if injector is not None:
+                    entry = injector.entry_faults(wid)
+                    if entry:
+                        spec = replace(spec, faults=tuple(entry))
+                parent_conn, child_conn = self._ctx.Pipe()
+                self._conns.append(parent_conn)
+                stale = (
+                    list(self._conns)
+                    if self._ctx.get_start_method() == "fork"
+                    else []
+                )
+                proc = self._ctx.Process(
+                    target=_persistent_worker_main,
+                    args=(
+                        spec, barrier, child_conn, self._doneq, self._errq,
+                        stale,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+        except BaseException:
+            self._teardown(graceful=False)
+            raise
+        self._graph = graph
+        self.forks += self._num_workers
+
+    def _bind_space_late(self, space: CSRSpace) -> None:
+        """Attach ``space`` to an existing graph-first binding (no refork).
+
+        The worker count — and with it the barrier party count — was fixed
+        when the graph binding forked, so the space's weighted ranges are
+        padded with empty ``(n, n)`` chunks up to that count: a padded
+        worker sweeps nothing but still participates in every barrier.
+        The space segments are created here; the job that ships their names
+        to the workers is queued on :attr:`_pending_space` and attached by
+        the next :meth:`_send_jobs`.
+        """
+        n = len(space)
+        ranges = weighted_ranges(space.ctx_offsets, self._num_workers)
+        ranges = list(ranges) + [(n, n)] * (self._num_workers - len(ranges))
+        degrees = array("q", [
+            space.ctx_offsets[i + 1] - space.ctx_offsets[i] for i in range(n)
+        ])
+        self._degree_bytes = degrees.tobytes()
+        self._bounds_bytes = _bounds_array(ranges).tobytes()
+        _create_shared_space(
+            self._arena, space, degrees, ranges,
+            double_tau=True, neighbours=True, control=False,
+        )
+        space_names = {
+            tag: self._arena.names[tag]
+            for tag in (
+                "ctx_offsets", "ctx_members", "tau_a", "tau_b",
+                "nbr_offsets", "nbr_members", "active", "bounds",
+            )
+        }
+        self._pending_space = (
+            space_names,
+            n,
+            space.stride,
+            [tuple(map(int, b)) for b in ranges],
+        )
+        self._space = space
 
     def _reset_buffers(self) -> None:
         """Re-initialise the per-call buffers (τ, counts, flags, meta)."""
@@ -1489,6 +1975,9 @@ class PersistentPool:
         procs, conns, arena = self._procs, self._conns, self._arena
         self._procs, self._conns, self._arena = [], [], None
         self._space = None
+        self._graph = None
+        self._pending_space = None
+        self._enum_directives = {}
         self._source = None
         self._source_rs = None
         self._num_workers = 0
@@ -1502,6 +1991,7 @@ class PersistentPool:
         _stop_processes(
             procs, graceful_join=_SHUTDOWN_GRACE if graceful else 0.0
         )
+        self._barrier = None  # workers are gone: let the semaphores unlink
         if arena is not None:
             arena.destroy()
 
@@ -1522,7 +2012,16 @@ def process_snd_decomposition(
     count are identical to :func:`repro.core.snd.snd_decomposition` — the
     synchronous schedule is deterministic regardless of how many workers
     sweep it.
+
+    A :class:`CSRGraph` source runs the whole path on one
+    :class:`PersistentPool` binding: the workers enumerate the space's
+    cliques in parallel (:meth:`PersistentPool.run_enumerate`) and then
+    sweep the assembled space without being reforked.
     """
+    if isinstance(source, CSRGraph):
+        with PersistentPool(workers, start_method=start_method) as pool:
+            space = CSRSpace.from_graph(source, r, s, pool=pool)
+            return pool.run_snd(space, max_iterations=max_iterations)
     space = _as_csr(source, r, s)
     backend = ProcessPoolBackend(workers, start_method=start_method)
     return backend.run_snd(space, max_iterations=max_iterations)
@@ -1546,7 +2045,15 @@ def process_and_decomposition(
     neighbourhood changed, with cross-chunk re-activation.  The final κ
     equals the serial algorithms' output (unique fixed point), though the
     round count depends on the partitioning.
+
+    A :class:`CSRGraph` source runs enumeration *and* the sweep on one
+    :class:`PersistentPool` binding — see :func:`process_snd_decomposition`.
     """
+    if isinstance(source, CSRGraph):
+        with PersistentPool(workers, start_method=start_method) as pool:
+            space = CSRSpace.from_graph(source, r, s, pool=pool)
+            return pool.run_and(space, max_iterations=max_iterations,
+                                notification=notification)
     space = _as_csr(source, r, s)
     backend = ProcessPoolBackend(workers, start_method=start_method)
     return backend.run_and(space, max_iterations=max_iterations,

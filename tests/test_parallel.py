@@ -192,11 +192,17 @@ class TestParallelDispatch:
         with pytest.raises(ValueError, match="workers"):
             nucleus_decomposition(small_powerlaw_graph, 1, 2, workers=4)
 
-    def test_thread_and_rejected(self, small_powerlaw_graph):
-        with pytest.raises(ValueError, match="thread"):
-            nucleus_decomposition(
-                small_powerlaw_graph, 1, 2, algorithm="and", parallel="thread"
-            )
+    def test_thread_and_runs_batched_sweep(self, small_powerlaw_graph):
+        # thread AND used to be rejected; it now runs the batched numpy
+        # chunk sweep (see tests/test_parallel_construction.py for the
+        # full parity matrix)
+        pytest.importorskip("numpy")
+        serial = nucleus_decomposition(small_powerlaw_graph, 1, 2, algorithm="and")
+        result = nucleus_decomposition(
+            small_powerlaw_graph, 1, 2, algorithm="and", parallel="thread"
+        )
+        assert result.kappa == serial.kappa
+        assert result.algorithm == "and-parallel"
 
     def test_parallel_peeling_rejected(self, small_powerlaw_graph):
         with pytest.raises(ValueError, match="peeling"):
